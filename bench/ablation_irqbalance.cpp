@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation A3: sensitivity to the irqbalance rescan interval. The
+ * paper stops irqbalance entirely (Section IV-D); this sweep shows
+ * how the per-SSD divergence scales with how often the daemon
+ * shuffles busy vectors, from an aggressive 250 ms to fully off.
+ */
+
+#include "common.hh"
+
+using namespace afa::core;
+
+int
+main(int argc, char **argv)
+{
+    auto opts = afa::bench::parseOptions(argc, argv);
+    opts.params.profile = TuningProfile::Isolcpus;
+
+    Geometry geometry(afa::host::CpuTopology(opts.params.topology),
+                      opts.params.ssds);
+    std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
+        rows;
+
+    struct Case
+    {
+        const char *name;
+        afa::sim::Tick interval; // 0 = disabled
+        bool pinned;
+    };
+    const Case cases[] = {
+        {"rescan 250ms", afa::sim::msec(250), false},
+        {"rescan 1s", afa::sim::sec(1), false},
+        {"rescan 4s", afa::sim::sec(4), false},
+        {"irqbalance off", 0, false},
+        {"pinned (paper)", 0, true},
+    };
+
+    for (const Case &c : cases) {
+        TuningConfig cfg = TuningConfig::forProfile(
+            c.pinned ? TuningProfile::IrqAffinity
+                     : TuningProfile::Isolcpus,
+            geometry);
+        if (!c.pinned)
+            cfg.kernel.irq.irqBalanceEnabled = c.interval > 0;
+        auto params = opts.params;
+        params.tuningOverride = cfg;
+        params.irqBalanceInterval =
+            c.interval > 0 ? c.interval : afa::sim::sec(1);
+        auto result = ExperimentRunner::run(params);
+        std::printf("--- %s: stddev(avg) %.2f us, stddev(p99.99) "
+                    "%.1f us ---\n",
+                    c.name, result.aggregate.stddevUs[0],
+                    result.aggregate.stddevUs[3]);
+        rows.emplace_back(c.name, result.aggregate);
+    }
+    std::printf("\n=== A3: irqbalance interval sweep (usec) ===\n");
+    afa::bench::printTable(comparisonTable(rows), opts.csv);
+    std::printf("\nNote: 'irqbalance off' keeps the driver's default "
+                "queue-to-CPU\nspread, so it converges like pinning; "
+                "the daemon is what breaks\nthe affinity.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared plumbing for the figure benches: option parsing into
+ * ExperimentParams and the standard report block.
+ *
+ * Common flags:
+ *   --ssds N          devices (default 64, the paper's host slice)
+ *   --runtime-ms M    per-run measurement (default 4000; the paper
+ *                     ran 120000 -- pass it for full fidelity)
+ *   --seed S          root random seed
+ *   --smart-period-ms SMART cadence (default 1000; paper ~30000,
+ *                     scaled so spikes-per-run matches 120s/30s)
+ *   --irqbalance-ms   irqbalance rescan cadence (default 1000;
+ *                     daemon default 10000, same scaling)
+ *   --csv             emit CSV instead of aligned tables
+ *   --per-device      also print the full 64-row per-device ladder
+ *   --report          append the system attribution report
+ */
+
+#ifndef AFA_BENCH_COMMON_HH
+#define AFA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/config.hh"
+
+namespace afa::bench {
+
+struct BenchOptions
+{
+    afa::core::ExperimentParams params;
+    bool csv = false;
+    bool perDevice = false;
+};
+
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    afa::sim::Config cfg;
+    cfg.parseArgs(argc - 1, argv + 1);
+    BenchOptions opts;
+    auto &p = opts.params;
+    p.ssds = static_cast<unsigned>(cfg.getUint("ssds", 64));
+    p.runtime = afa::sim::msec(
+        static_cast<double>(cfg.getUint("runtime_ms", 4000)));
+    p.seed = cfg.getUint("seed", 1);
+    p.smartPeriod = afa::sim::msec(
+        static_cast<double>(cfg.getUint("smart_period_ms", 1000)));
+    p.irqBalanceInterval = afa::sim::msec(
+        static_cast<double>(cfg.getUint("irqbalance_ms", 1000)));
+    p.job = afa::workload::FioJob::parse(
+        cfg.getString("job", "rw=randread bs=4k iodepth=1"));
+    opts.csv = cfg.getBool("csv", false);
+    opts.perDevice = cfg.getBool("per_device", false);
+    p.captureSystemReport = cfg.getBool("report", false);
+    return opts;
+}
+
+inline void
+printTable(const afa::stats::Table &table, bool csv)
+{
+    if (csv)
+        std::fputs(table.toCsv().c_str(), stdout);
+    else
+        table.print();
+}
+
+/** The standard block every figure bench prints. */
+inline void
+reportFigure(const char *figure, const char *caption,
+             const afa::core::ExperimentResult &result,
+             const BenchOptions &opts)
+{
+    std::printf("=== %s: %s ===\n", figure, caption);
+    std::fputs(afa::core::describeExperiment(result).c_str(), stdout);
+    std::printf("\nlatency envelope across %zu devices (usec):\n",
+                result.perDevice.size());
+    printTable(afa::core::envelopeTable(result), opts.csv);
+    if (opts.perDevice) {
+        std::printf("\nper-device ladder (usec):\n");
+        printTable(afa::core::perDeviceTable(result), opts.csv);
+    }
+    if (!result.systemReportText.empty())
+        std::printf("\n%s", result.systemReportText.c_str());
+    std::printf("\n");
+}
+
+} // namespace afa::bench
+
+#endif // AFA_BENCH_COMMON_HH

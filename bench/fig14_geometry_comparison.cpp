@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 14: mean and standard deviation of the latency-ladder points
+ * across devices for each Fig. 13 geometry. Expected: all four
+ * geometries agree closely, confirming that profiling many SSDs in
+ * parallel is valid while CPU utilisation stays low -- the basis of
+ * the paper's "x10-x100 faster SSD profiling" claim.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    auto opts = afa::bench::parseOptions(argc, argv);
+    opts.params.profile = afa::core::TuningProfile::IrqAffinity;
+    using afa::core::GeometryVariant;
+
+    std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
+        rows;
+    for (GeometryVariant variant :
+         {GeometryVariant::FourPerCore, GeometryVariant::TwoPerCore,
+          GeometryVariant::OnePerCore,
+          GeometryVariant::SingleThread}) {
+        opts.params.variant = variant;
+        auto result = afa::core::ExperimentRunner::run(opts.params);
+        std::printf("--- %s: runs=%u ios=%llu ---\n",
+                    afa::core::geometryVariantName(variant),
+                    result.runs,
+                    (unsigned long long)result.totalIos);
+        rows.emplace_back(afa::core::geometryVariantName(variant),
+                          result.aggregate);
+    }
+    std::printf("\n=== Fig. 14: comparison of SSDs per physical core "
+                "(usec) ===\n");
+    afa::bench::printTable(afa::core::comparisonTable(rows), opts.csv);
+    return 0;
+}

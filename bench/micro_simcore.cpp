@@ -1,0 +1,158 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator hot paths: the
+ * event queue, RNG, histogram, scheduler round trips, and fabric
+ * transfers. These bound the wall-clock cost of the figure benches
+ * (a Fig. 6 run executes ~10^8 events).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "host/scheduler.hh"
+#include "pcie/afa_topology.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+#include "stats/histogram.hh"
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    afa::sim::EventQueue q;
+    afa::sim::Tick when = 0;
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        q.schedule(++t, [] {});
+        q.runNext(when);
+    }
+    benchmark::DoNotOptimize(when);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_EventQueueDeepHeap(benchmark::State &state)
+{
+    // Schedule/run against a standing population of pending events.
+    afa::sim::EventQueue q;
+    const std::int64_t depth = state.range(0);
+    afa::sim::Rng rng(1);
+    for (std::int64_t i = 0; i < depth; ++i)
+        q.schedule(rng.uniformInt(1, 1u << 30), [] {});
+    afa::sim::Tick when = 0;
+    for (auto _ : state) {
+        q.schedule(rng.uniformInt(1, 1u << 30), [] {});
+        q.runNext(when);
+    }
+    benchmark::DoNotOptimize(when);
+}
+BENCHMARK(BM_EventQueueDeepHeap)->Arg(1024)->Arg(65536);
+
+void
+BM_EventQueueCancel(benchmark::State &state)
+{
+    afa::sim::EventQueue q;
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        auto h = q.schedule(++t, [] {});
+        q.cancel(h);
+    }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    afa::sim::Rng rng(42);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc ^= rng.next();
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngLognormal(benchmark::State &state)
+{
+    afa::sim::Rng rng(42);
+    double acc = 0;
+    for (auto _ : state)
+        acc += rng.lognormal(30000.0, 0.1);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngLognormal);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    afa::stats::Histogram h;
+    afa::sim::Rng rng(42);
+    for (auto _ : state)
+        h.record(static_cast<afa::sim::Tick>(
+            rng.lognormal(30000.0, 0.3)));
+    benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_HistogramQuantile(benchmark::State &state)
+{
+    afa::stats::Histogram h;
+    afa::sim::Rng rng(42);
+    for (int i = 0; i < 100000; ++i)
+        h.record(static_cast<afa::sim::Tick>(
+            rng.lognormal(30000.0, 0.3)));
+    double q = 0.9;
+    afa::sim::Tick acc = 0;
+    for (auto _ : state) {
+        acc ^= h.quantile(q);
+        q = q >= 0.9999 ? 0.9 : q + 0.00001;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void
+BM_SchedulerRunForRoundTrip(benchmark::State &state)
+{
+    // One task executing back-to-back 2 us segments: the FIO
+    // submit/reap hot path.
+    afa::sim::Simulator sim(1);
+    afa::host::KernelConfig cfg;
+    cfg.sched.rcuCallbackInterval = afa::sim::sec(100000);
+    afa::host::Scheduler sched(sim, "sched",
+                               afa::host::CpuTopology{}, cfg);
+    afa::host::TaskParams tp;
+    tp.name = "t";
+    auto task = sched.createTask(tp);
+    for (auto _ : state) {
+        bool done = false;
+        sched.runFor(task, afa::sim::usec(2), [&] { done = true; });
+        while (!done)
+            sim.runSteps(1);
+    }
+}
+BENCHMARK(BM_SchedulerRunForRoundTrip);
+
+void
+BM_FabricFourHopTransfer(benchmark::State &state)
+{
+    afa::sim::Simulator sim(1);
+    afa::pcie::Fabric fabric(sim, "fabric");
+    auto topo = buildAfaTopology(fabric, {});
+    unsigned dev = 0;
+    for (auto _ : state) {
+        bool done = false;
+        fabric.send(topo.ssds[dev % 64], topo.host, 4096,
+                    [&] { done = true; });
+        while (!done)
+            sim.runSteps(1);
+        ++dev;
+    }
+}
+BENCHMARK(BM_FabricFourHopTransfer);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation A6: the tail-at-scale motivation of Section I, measured.
+ * "One request from a client is divided into multiple I/Os ... even
+ * if one SSD out of many shows long tail latency, the entire I/O
+ * from the client is delayed by the same amount."
+ *
+ * A client read is striped across W member SSDs (RAID-0, 4 KiB
+ * strips) and completes with the slowest member. Sweeping W under
+ * the default and the tuned host shows why the paper's host tuning
+ * matters more the wider the array: the client's p99 approaches the
+ * members' tail as W grows.
+ */
+
+#include "common.hh"
+
+#include <memory>
+#include <vector>
+
+#include "raid/volume.hh"
+#include "sim/logging.hh"
+#include "workload/fio_thread.hh"
+
+using namespace afa::core;
+using afa::sim::Simulator;
+using afa::workload::FioJob;
+using afa::workload::FioThread;
+
+namespace {
+
+afa::stats::LatencySummary
+runClient(const afa::bench::BenchOptions &opts, TuningProfile profile,
+          unsigned width)
+{
+    Simulator sim(opts.params.seed + width);
+    AfaSystemParams sys_params;
+    sys_params.ssds = width;
+    Geometry geometry(afa::host::CpuTopology{}, width);
+    TuningConfig tuning = TuningConfig::forProfile(profile, geometry);
+    sys_params.kernel = tuning.kernel;
+    sys_params.firmware = tuning.firmware;
+    sys_params.pinIrqAffinity = tuning.pinIrqAffinity;
+    sys_params.firmware.smart.period = opts.params.smartPeriod;
+    sys_params.kernel.irq.irqBalanceInterval =
+        opts.params.irqBalanceInterval;
+    AfaSystem system(sim, sys_params);
+
+    std::vector<unsigned> members;
+    for (unsigned d = 0; d < width; ++d)
+        members.push_back(d);
+    afa::raid::StripedVolume volume(sim, "vol0", system.ioEngine(),
+                                    members, 1);
+
+    FioJob job;
+    job.rw = afa::workload::RwMode::RandRead;
+    job.blockSize = 4096 * width; // one strip per member
+    job.runtime = opts.params.runtime;
+    job.cpusAllowed = afa::host::CpuMask(1)
+        << geometry.fioCpus()[0];
+    job.rtPriority = tuning.fioRtPriority;
+    job.name = "client";
+    FioThread client(sim, "client", system.scheduler(),
+                     volume, 0, job);
+    system.start();
+    client.start(0);
+    sim.run(opts.params.runtime + afa::sim::msec(200));
+    return afa::stats::LatencySummary::fromHistogram(
+        afa::sim::strfmt("stripe-%u", width), client.histogram());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = afa::bench::parseOptions(argc, argv);
+
+    afa::stats::Table table({"config", "width", "client_ios",
+                             "avg_us", "p99_us", "p99.9_us",
+                             "max_us"});
+    for (TuningProfile profile :
+         {TuningProfile::Default, TuningProfile::IrqAffinity}) {
+        for (unsigned width : {1u, 4u, 16u, 64u}) {
+            auto s = runClient(opts, profile, width);
+            table.addRow({tuningProfileName(profile),
+                          afa::stats::Table::num(
+                              std::uint64_t(width)),
+                          afa::stats::Table::num(s.samples),
+                          afa::stats::Table::num(s.ladderUs[0], 1),
+                          afa::stats::Table::num(s.ladderUs[1], 1),
+                          afa::stats::Table::num(s.ladderUs[2], 1),
+                          afa::stats::Table::num(s.ladderUs[6], 1)});
+        }
+    }
+    std::printf("=== A6: tail at scale -- striped client reads "
+                "(Section I motivation) ===\n");
+    afa::bench::printTable(table, opts.csv);
+    std::printf(
+        "\nReading: the client completes with the *slowest* of W "
+        "members.\nUnder the default kernel the per-member tail is "
+        "long, so the\nclient p99 degrades sharply with W and the "
+        "max rides the\nmillisecond scheduler tail; on the tuned "
+        "host the client tail is\npinned to the SMART ceiling "
+        "regardless of W -- the reason AFA\ndeployments must care "
+        "about per-SSD tails.\n\nNuance the sweep also exposes: "
+        "pinning every vector to the\nsubmitting CPU serialises all "
+        "W completion interrupts of a fan-out\nread onto one core "
+        "(higher avg at W=64), while irqbalance's\nspreading "
+        "parallelises them -- affinity tuning is per-workload, "
+        "not\nuniversally optimal.\n");
+    return 0;
+}

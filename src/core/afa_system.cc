@@ -1,0 +1,157 @@
+#include "core/afa_system.hh"
+
+#include "sim/logging.hh"
+
+namespace afa::core {
+
+using afa::nvme::NvmeCommand;
+using afa::nvme::NvmeCompletion;
+using afa::sim::Simulator;
+using afa::sim::Tracer;
+
+AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
+                     Tracer *tracer)
+    : sim(simulator), sysParams(params)
+{
+    if (params.ssds == 0)
+        afa::sim::fatal("AfaSystem: need at least one SSD");
+
+    // Fabric first (Fig. 2/4).
+    pcieFabric = std::make_unique<afa::pcie::Fabric>(sim, "fabric");
+    afa::pcie::AfaTopologyParams ft = params.fabric;
+    ft.ssds = params.ssds;
+    fabricTopo = buildAfaTopology(*pcieFabric, ft);
+
+    // Host side.
+    sched = std::make_unique<afa::host::Scheduler>(
+        sim, "sched", afa::host::CpuTopology(params.topology),
+        params.kernel, tracer);
+    irqSub = std::make_unique<afa::host::IrqSubsystem>(
+        sim, "irq", *sched, params.ssds, tracer);
+    bg = std::make_unique<afa::host::BackgroundLoad>(
+        sim, "bg", *sched, params.background);
+    driver = std::make_unique<Driver>(*this);
+
+    // SSDs.
+    for (unsigned d = 0; d < params.ssds; ++d) {
+        nands.push_back(std::make_unique<afa::nand::NandArray>(
+            sim, afa::sim::strfmt("nvme%u.nand", d), params.nand));
+        ctrls.push_back(std::make_unique<afa::nvme::Controller>(
+            sim, afa::sim::strfmt("nvme%u", d), params.firmware,
+            *nands.back(), params.ftl, tracer));
+        afa::nvme::Controller &ctrl = *ctrls.back();
+        ctrl.setQueuePairs(sched->topology().logicalCpus());
+        afa::pcie::NodeId dev_node = fabricTopo.ssds[d];
+        afa::pcie::NodeId host_node = fabricTopo.host;
+        ctrl.setTransport([this, dev_node, host_node](
+                              std::uint32_t bytes,
+                              afa::sim::EventFn fn) {
+            pcieFabric->send(dev_node, host_node, bytes,
+                             std::move(fn));
+        });
+        ctrl.setCompletionHandler(
+            [this, d](const NvmeCompletion &completion) {
+                driver->onCompletion(d, completion);
+            });
+    }
+
+    if (params.pinIrqAffinity)
+        irqSub->pinAllToQueueCpus();
+}
+
+void
+AfaSystem::start()
+{
+    if (startedFlag)
+        return;
+    startedFlag = true;
+    sched->start();
+    irqSub->start();
+    bg->start();
+    for (auto &ctrl : ctrls)
+        ctrl->start();
+}
+
+afa::workload::IoEngine &
+AfaSystem::ioEngine()
+{
+    return *driver;
+}
+
+afa::nvme::Controller &
+AfaSystem::ssd(unsigned index)
+{
+    if (index >= ctrls.size())
+        afa::sim::panic("AfaSystem: ssd index %u out of range", index);
+    return *ctrls[index];
+}
+
+std::size_t
+AfaSystem::outstandingCommands() const
+{
+    return driver->outstanding();
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+void
+AfaSystem::Driver::submit(unsigned cpu,
+                          const afa::workload::IoRequest &request,
+                          CompleteFn on_device_complete)
+{
+    if (request.device >= sys.ctrls.size())
+        afa::sim::panic("driver: device %u out of range",
+                        request.device);
+    std::uint64_t id = nextCmdId++;
+    inFlight.emplace(id, std::move(on_device_complete));
+
+    NvmeCommand cmd;
+    cmd.op = request.op;
+    cmd.lba = request.lba;
+    cmd.bytes = request.bytes;
+    cmd.queueId = static_cast<std::uint16_t>(cpu);
+    cmd.cmdId = id;
+    cmd.submitted = sys.sim.now();
+
+    afa::nvme::Controller *ctrl = sys.ctrls[request.device].get();
+    sys.pcieFabric->send(sys.fabricTopo.host,
+                         sys.fabricTopo.ssds[request.device],
+                         sys.sysParams.sqeBytes,
+                         [ctrl, cmd] { ctrl->submit(cmd); });
+}
+
+std::uint64_t
+AfaSystem::Driver::deviceBlocks(unsigned device) const
+{
+    if (device >= sys.ctrls.size())
+        afa::sim::panic("driver: device %u out of range", device);
+    return sys.ctrls[device]->ftl().logicalBlocks();
+}
+
+void
+AfaSystem::Driver::onCompletion(unsigned device,
+                                const NvmeCompletion &completion)
+{
+    auto it = inFlight.find(completion.cmdId);
+    if (it == inFlight.end())
+        afa::sim::panic("driver: completion for unknown command %llu",
+                        (unsigned long long)completion.cmdId);
+    CompleteFn fn = std::move(it->second);
+    inFlight.erase(it);
+    if (sys.polledMode) {
+        // Polled queues: the CQE sits in host memory; the submitting
+        // thread's poll loop will find it. No interrupt is raised.
+        fn(completion.queueId);
+        return;
+    }
+    // Deliver through the MSI-X vector of (device, submit queue);
+    // its affinity decides which CPU pays the hardirq/softirq cost.
+    sys.irqSub->raise(device, completion.queueId,
+                      [fn = std::move(fn)](unsigned handler_cpu) {
+                          fn(handler_cpu);
+                      });
+}
+
+} // namespace afa::core

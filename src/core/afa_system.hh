@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The assembled all-flash-array system under test: host CPUs +
+ * scheduler + IRQ subsystem + background load, the PCIe switch
+ * fabric, 64 NVMe SSD models, and the NVMe driver glue that turns it
+ * all into an async I/O engine for FIO threads.
+ *
+ * This mirrors the paper's Fig. 4 testbed: a dual-socket Xeon host
+ * whose second socket owns a Gen3 x16 uplink into the 2OU AFA.
+ */
+
+#ifndef AFA_CORE_AFA_SYSTEM_HH
+#define AFA_CORE_AFA_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "host/background.hh"
+#include "host/irq.hh"
+#include "host/scheduler.hh"
+#include "nand/nand_array.hh"
+#include "nvme/controller.hh"
+#include "pcie/afa_topology.hh"
+#include "pcie/fabric.hh"
+#include "workload/io_engine.hh"
+
+namespace afa::core {
+
+/** Everything configurable about the assembled system. */
+struct AfaSystemParams
+{
+    unsigned ssds = 64;
+
+    afa::host::CpuTopologyParams topology;
+    afa::host::KernelConfig kernel;
+    afa::host::BackgroundParams background =
+        afa::host::BackgroundParams::centos7Defaults();
+
+    afa::nvme::FirmwareConfig firmware;
+    afa::nand::NandParams nand = simScaledNand();
+    afa::nvme::FtlParams ftl;
+
+    afa::pcie::AfaTopologyParams fabric;
+
+    /** Section IV-D tuning: pin vectors, stop irqbalance. */
+    bool pinIrqAffinity = false;
+
+    /** Bytes of a submission (SQE fetch + doorbell) on the fabric. */
+    std::uint32_t sqeBytes = 72;
+
+    /**
+     * NAND geometry scaled to the simulated 1 GiB logical space
+     * (keeps 64 drives' FTL memory small); bandwidth and latency
+     * parameters stay production-like.
+     */
+    static afa::nand::NandParams
+    simScaledNand()
+    {
+        afa::nand::NandParams p;
+        p.diesPerChannel = 8;
+        p.blocksPerDie = 16;
+        return p;
+    }
+};
+
+/** The system. Owns every component except the Simulator. */
+class AfaSystem
+{
+  public:
+    AfaSystem(afa::sim::Simulator &simulator,
+              const AfaSystemParams &params,
+              afa::sim::Tracer *tracer = nullptr);
+
+    /** Start ticks, balancers, background load and SSD firmware. */
+    void start();
+
+    /** The async I/O engine FIO threads drive (the NVMe driver). */
+    afa::workload::IoEngine &ioEngine();
+
+    /**
+     * Deliver completions without raising MSI-X interrupts: the
+     * submitting thread discovers them by polling (Section V's
+     * poll-vs-interrupt discussion). Pair with FioJob::polling.
+     */
+    void setPolledCompletions(bool polled) { polledMode = polled; }
+
+    /** True when completions bypass the IRQ subsystem. */
+    bool polledCompletions() const { return polledMode; }
+
+    afa::host::Scheduler &scheduler() { return *sched; }
+    afa::host::IrqSubsystem &irq() { return *irqSub; }
+    afa::host::BackgroundLoad &background() { return *bg; }
+    afa::pcie::Fabric &fabric() { return *pcieFabric; }
+    afa::nvme::Controller &ssd(unsigned index);
+    unsigned ssds() const { return static_cast<unsigned>(ctrls.size()); }
+    const AfaSystemParams &params() const { return sysParams; }
+
+    /** Outstanding driver commands (0 when quiescent). */
+    std::size_t outstandingCommands() const;
+
+  private:
+    /** The NVMe driver: submission via the fabric, completion via
+     *  MSI-X vectors into the IRQ subsystem. */
+    class Driver : public afa::workload::IoEngine
+    {
+      public:
+        explicit Driver(AfaSystem &system) : sys(system) {}
+
+        void submit(unsigned cpu,
+                    const afa::workload::IoRequest &request,
+                    CompleteFn on_device_complete) override;
+        std::uint64_t deviceBlocks(unsigned device) const override;
+
+        void onCompletion(unsigned device,
+                          const afa::nvme::NvmeCompletion &completion);
+
+        std::size_t outstanding() const { return inFlight.size(); }
+
+      private:
+        AfaSystem &sys;
+        std::uint64_t nextCmdId = 1;
+        std::unordered_map<std::uint64_t, CompleteFn> inFlight;
+    };
+
+    afa::sim::Simulator &sim;
+    AfaSystemParams sysParams;
+
+    std::unique_ptr<afa::pcie::Fabric> pcieFabric;
+    afa::pcie::AfaTopology fabricTopo;
+    std::vector<std::unique_ptr<afa::nand::NandArray>> nands;
+    std::vector<std::unique_ptr<afa::nvme::Controller>> ctrls;
+    std::unique_ptr<afa::host::Scheduler> sched;
+    std::unique_ptr<afa::host::IrqSubsystem> irqSub;
+    std::unique_ptr<afa::host::BackgroundLoad> bg;
+    std::unique_ptr<Driver> driver;
+    bool startedFlag = false;
+    bool polledMode = false;
+};
+
+} // namespace afa::core
+
+#endif // AFA_CORE_AFA_SYSTEM_HH

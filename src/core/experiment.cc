@@ -1,0 +1,128 @@
+#include "core/experiment.hh"
+
+#include <memory>
+
+#include "core/system_report.hh"
+#include "sim/logging.hh"
+#include "workload/fio_thread.hh"
+
+namespace afa::core {
+
+using afa::sim::Simulator;
+using afa::workload::FioThread;
+
+ExperimentResult
+ExperimentRunner::run(const ExperimentParams &params)
+{
+    afa::host::CpuTopology topo(params.topology);
+    Geometry geometry(topo, params.ssds);
+    TuningConfig tuning = params.tuningOverride
+        ? *params.tuningOverride
+        : TuningConfig::forProfile(params.profile, geometry);
+
+    ExperimentResult result;
+    result.params = params;
+    result.tuning = tuning;
+    result.bootCmdline = tuning.kernel.bootCommandLine();
+    result.perDevice.resize(params.ssds);
+
+    auto runs = geometry.runsFor(params.variant);
+    result.runs = static_cast<unsigned>(runs.size());
+
+    double total_bytes = 0.0;
+    double measured_seconds = 0.0;
+
+    for (std::size_t run_idx = 0; run_idx < runs.size(); ++run_idx) {
+        const Run &placements = runs[run_idx];
+
+        Simulator sim(params.seed + run_idx * 7919);
+
+        AfaSystemParams sys_params;
+        sys_params.ssds = params.ssds;
+        sys_params.topology = params.topology;
+        sys_params.kernel = tuning.kernel;
+        sys_params.firmware = tuning.firmware;
+        sys_params.pinIrqAffinity = tuning.pinIrqAffinity;
+        sys_params.ftl = params.ftl;
+        if (!params.backgroundLoad)
+            sys_params.background = afa::host::BackgroundParams::none();
+        if (params.smartPeriod > 0)
+            sys_params.firmware.smart.period = params.smartPeriod;
+        if (params.irqBalanceInterval > 0)
+            sys_params.kernel.irq.irqBalanceInterval =
+                params.irqBalanceInterval;
+
+        AfaSystem system(sim, sys_params);
+        if (params.polledCompletions)
+            system.setPolledCompletions(true);
+        if (params.preconditionFraction > 0.0)
+            for (unsigned d = 0; d < params.ssds; ++d)
+                system.ssd(d).ftl().precondition(
+                    params.preconditionFraction);
+
+        std::vector<std::unique_ptr<FioThread>> threads;
+        for (const Placement &p : placements) {
+            afa::workload::FioJob job = params.job;
+            job.runtime = params.runtime;
+            job.cpusAllowed = afa::host::CpuMask(1) << p.cpu;
+            job.rtPriority = tuning.fioRtPriority;
+            job.polling = params.polledCompletions;
+            job.name = afa::sim::strfmt("fio-nvme%u", p.device);
+            threads.push_back(std::make_unique<FioThread>(
+                sim, job.name, system.scheduler(), system.ioEngine(),
+                p.device, job));
+            if (p.device < params.scatterDevices)
+                threads.back()->attachScatterLog(&result.scatter);
+        }
+
+        system.start();
+        for (auto &t : threads)
+            t->start(0);
+
+        // Run to the end of the measurement, then drain stragglers.
+        sim.run(params.runtime + afa::sim::msec(100));
+        bool drained = false;
+        for (int rounds = 0; rounds < 100 && !drained; ++rounds) {
+            drained = true;
+            for (auto &t : threads)
+                if (!t->finished())
+                    drained = false;
+            if (!drained)
+                sim.run(sim.now() + afa::sim::msec(10));
+        }
+        if (!drained)
+            afa::sim::warn("experiment: run %zu did not drain cleanly",
+                           run_idx);
+
+        for (std::size_t i = 0; i < placements.size(); ++i) {
+            unsigned device = placements[i].device;
+            result.perDevice[device] =
+                afa::stats::LatencySummary::fromHistogram(
+                    afa::sim::strfmt("nvme%u", device),
+                    threads[i]->histogram());
+            result.totalIos += threads[i]->stats().completed;
+            total_bytes +=
+                static_cast<double>(threads[i]->stats().readBytes) +
+                static_cast<double>(threads[i]->stats().writeBytes);
+        }
+        measured_seconds += afa::sim::toSec(params.runtime);
+        result.simulatedEvents += sim.executedEvents();
+        if (params.captureSystemReport)
+            result.systemReportText = systemReport(system);
+    }
+
+    result.aggregate =
+        afa::stats::LadderAggregate::across(result.perDevice);
+    if (measured_seconds > 0.0) {
+        // Aggregate throughput of one run's worth of wall time.
+        double per_run_seconds =
+            measured_seconds / static_cast<double>(runs.size());
+        (void)per_run_seconds;
+        result.aggregateGBps =
+            total_bytes / measured_seconds / 1e9 *
+            static_cast<double>(runs.size());
+    }
+    return result;
+}
+
+} // namespace afa::core

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The experiment runner: builds a fresh simulated testbed for a
+ * tuning profile + geometry variant, drives the paper's FIO workload
+ * over it, and collects the per-SSD latency summaries the figures
+ * plot. Table II variants that need multiple runs over disjoint SSD
+ * sets are executed back to back and merged, like the paper did.
+ */
+
+#ifndef AFA_CORE_EXPERIMENT_HH
+#define AFA_CORE_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/afa_system.hh"
+#include "core/geometry.hh"
+#include "core/tuning.hh"
+#include "stats/scatter_log.hh"
+#include "stats/summary.hh"
+#include "workload/fio_job.hh"
+
+namespace afa::core {
+
+using afa::sim::Tick;
+
+/** Parameters of one figure-style experiment. */
+struct ExperimentParams
+{
+    TuningProfile profile = TuningProfile::Default;
+    GeometryVariant variant = GeometryVariant::FourPerCore;
+    unsigned ssds = 64;
+    std::uint64_t seed = 1;
+
+    /** Per-thread measurement duration (the paper used 120 s). */
+    Tick runtime = afa::sim::sec(4);
+
+    /**
+     * Time compression: the paper's SMART fired every ~30 s over a
+     * 120 s run; short simulations scale the period to keep the same
+     * spikes-per-run ratio. 0 keeps the firmware default.
+     */
+    Tick smartPeriod = afa::sim::sec(1);
+
+    /** Scaled irqbalance rescan interval (daemon default 10 s). */
+    Tick irqBalanceInterval = afa::sim::sec(1);
+
+    /** The workload (runtime/cpus_allowed/rtprio filled per thread). */
+    afa::workload::FioJob job;
+
+    /** Log raw samples for the first N devices (Fig. 10). */
+    unsigned scatterDevices = 0;
+
+    /** Run the CentOS 7 background zoo (off for calibration). */
+    bool backgroundLoad = true;
+
+    /** Override the number of host CPUs etc. when non-default. */
+    afa::host::CpuTopologyParams topology;
+
+    /**
+     * Ablation hook: use this exact tuning configuration instead of
+     * expanding `profile` (profile is still recorded for reports).
+     */
+    std::optional<TuningConfig> tuningOverride;
+
+    /** Pre-map this fraction of every drive (0 = FOB, the paper). */
+    double preconditionFraction = 0.0;
+
+    /** FTL geometry/policy for aged-drive experiments. */
+    afa::nvme::FtlParams ftl;
+
+    /**
+     * Deliver completions by polling instead of MSI-X interrupts
+     * (the Section V discussion / Yang et al. comparison). Requires
+     * iodepth=1 jobs.
+     */
+    bool polledCompletions = false;
+
+    /** Capture the systemReport() of each run into the result. */
+    bool captureSystemReport = false;
+};
+
+/** Result of one experiment (merged across geometry runs). */
+struct ExperimentResult
+{
+    ExperimentParams params;
+    TuningConfig tuning;
+
+    /** Per-device summaries in device order (one line per Fig. curve). */
+    std::vector<afa::stats::LatencySummary> perDevice;
+
+    /** Mean/stddev per ladder point across devices (Figs. 12/14). */
+    afa::stats::LadderAggregate aggregate;
+
+    /** Raw samples when scatterDevices > 0. */
+    afa::stats::ScatterLog scatter;
+
+    std::uint64_t totalIos = 0;
+    double aggregateGBps = 0.0;
+    std::string bootCmdline;
+    std::uint64_t simulatedEvents = 0;
+
+    /** Attribution report of the last run (captureSystemReport). */
+    std::string systemReportText;
+
+    /** Runs executed (Table II's right column). */
+    unsigned runs = 0;
+};
+
+/** Runs experiments. */
+class ExperimentRunner
+{
+  public:
+    /** Execute the experiment (possibly several geometry runs). */
+    static ExperimentResult run(const ExperimentParams &params);
+};
+
+} // namespace afa::core
+
+#endif // AFA_CORE_EXPERIMENT_HH

@@ -1,0 +1,98 @@
+#include "core/geometry.hh"
+
+#include "sim/logging.hh"
+
+namespace afa::core {
+
+const char *
+geometryVariantName(GeometryVariant variant)
+{
+    switch (variant) {
+      case GeometryVariant::FourPerCore:
+        return "4-ssds-per-core";
+      case GeometryVariant::TwoPerCore:
+        return "2-ssds-per-core";
+      case GeometryVariant::OnePerCore:
+        return "1-ssd-per-core";
+      case GeometryVariant::SingleThread:
+        return "single-fio-thread";
+    }
+    return "?";
+}
+
+Geometry::Geometry(const afa::host::CpuTopology &topology, unsigned ssds,
+                   unsigned reserved_cores)
+    : topo(topology), numSsds(ssds)
+{
+    if (ssds == 0)
+        afa::sim::fatal("geometry: need at least one SSD");
+    if (reserved_cores >= topo.physicalCores())
+        afa::sim::fatal("geometry: %u reserved cores leave no FIO "
+                        "cores on a %u-core host",
+                        reserved_cores, topo.physicalCores());
+    // Reserve the first N physical cores of socket 0 (all threads).
+    for (unsigned core = 0; core < reserved_cores; ++core)
+        for (unsigned t = 0; t < topo.parameters().threadsPerCore; ++t)
+            reserved.insert(topo.logicalCpu(core, t));
+    // FIO CPUs in Fig. 5 order: thread 0 of the remaining physical
+    // cores first (cpu 4-19), then thread 1 (cpu 24-39).
+    for (unsigned t = 0; t < topo.parameters().threadsPerCore; ++t)
+        for (unsigned core = reserved_cores; core < topo.physicalCores();
+             ++core)
+            fio.push_back(topo.logicalCpu(core, t));
+}
+
+unsigned
+Geometry::cpuForDevice(unsigned device) const
+{
+    if (device >= numSsds)
+        afa::sim::panic("geometry: device %u out of range", device);
+    return fio[device % fio.size()];
+}
+
+unsigned
+Geometry::threadsPerRun(GeometryVariant variant) const
+{
+    unsigned fio_physical = static_cast<unsigned>(fio.size()) /
+        topo.parameters().threadsPerCore;
+    switch (variant) {
+      case GeometryVariant::FourPerCore:
+        return numSsds;
+      case GeometryVariant::TwoPerCore:
+        return std::min<unsigned>(numSsds,
+                                  static_cast<unsigned>(fio.size()));
+      case GeometryVariant::OnePerCore:
+        return std::min<unsigned>(numSsds, fio_physical);
+      case GeometryVariant::SingleThread:
+        return 1;
+    }
+    return 1;
+}
+
+std::vector<Run>
+Geometry::runsFor(GeometryVariant variant) const
+{
+    unsigned per_run = threadsPerRun(variant);
+    std::vector<Run> runs;
+    for (unsigned first = 0; first < numSsds; first += per_run) {
+        Run run;
+        unsigned count = std::min(per_run, numSsds - first);
+        for (unsigned i = 0; i < count; ++i) {
+            unsigned device = first + i;
+            run.push_back(Placement{device, fio[i % fio.size()]});
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+afa::host::CpuSet
+Geometry::isolationSet() const
+{
+    afa::host::CpuSet set;
+    for (unsigned cpu : fio)
+        set.insert(cpu);
+    return set;
+}
+
+} // namespace afa::core

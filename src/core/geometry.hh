@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The CPU-SSD geometry of Fig. 5 and its Table II variants.
+ *
+ * The paper reserves logical CPUs 0-3 and 20-23 for "other system
+ * tasks" and spreads FIO threads over the remaining 32 logical CPUs:
+ * nvme(n) runs on fio-cpu (n mod 32), so cpu(4) hosts nvme(0) and
+ * nvme(32), ..., cpu(39) hosts nvme(31) and nvme(63). Table II then
+ * varies the number of SSDs per physical core (4 / 2 / 1 / a single
+ * FIO thread), splitting the 64 SSDs into disjoint sets measured in
+ * consecutive runs.
+ */
+
+#ifndef AFA_CORE_GEOMETRY_HH
+#define AFA_CORE_GEOMETRY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "host/cpu_topology.hh"
+#include "host/kernel_config.hh"
+
+namespace afa::core {
+
+/** SSDs per physical core (the Table II rows). */
+enum class GeometryVariant : std::uint8_t {
+    FourPerCore,  ///< Fig. 13(a): 64 FIO threads, 1 run
+    TwoPerCore,   ///< Fig. 13(b): 32 FIO threads, 2 runs
+    OnePerCore,   ///< Fig. 13(c): 16 FIO threads, 4 runs
+    SingleThread, ///< Fig. 13(d): 1 FIO thread, 64 runs
+};
+
+/** Printable name of a variant. */
+const char *geometryVariantName(GeometryVariant variant);
+
+/** One FIO thread placement. */
+struct Placement
+{
+    unsigned device; ///< nvme index
+    unsigned cpu;    ///< logical CPU it is pinned to
+};
+
+/** One measurement run: a disjoint set of devices and their CPUs. */
+using Run = std::vector<Placement>;
+
+/** The Fig. 5 geometry resolver. */
+class Geometry
+{
+  public:
+    /**
+     * @param topology host CPU shape (default: the paper's host)
+     * @param ssds devices in the array
+     * @param reserved_per_socket_cores physical cores per socket kept
+     *        for system tasks (the paper reserves 4 on socket 0,
+     *        i.e. logical 0-3 and 20-23)
+     */
+    explicit Geometry(const afa::host::CpuTopology &topology = {},
+                      unsigned ssds = 64,
+                      unsigned reserved_cores = 4);
+
+    /** Logical CPUs reserved for system tasks (0-3, 20-23). */
+    const afa::host::CpuSet &reservedCpus() const { return reserved; }
+
+    /** Logical CPUs available to FIO, in Fig. 5 order (4-19, 24-39). */
+    const std::vector<unsigned> &fioCpus() const { return fio; }
+
+    /** Fig. 5 mapping: the CPU that nvme(@p device) is pinned to. */
+    unsigned cpuForDevice(unsigned device) const;
+
+    /**
+     * The runs of a Table II variant: each run is a disjoint device
+     * set with its placements; run counts are 1 / 2 / 4 / 64.
+     */
+    std::vector<Run> runsFor(GeometryVariant variant) const;
+
+    /** Number of FIO threads per run for a variant (Table II). */
+    unsigned threadsPerRun(GeometryVariant variant) const;
+
+    /** The paper's isolcpus list: exactly the FIO CPUs. */
+    afa::host::CpuSet isolationSet() const;
+
+    unsigned ssds() const { return numSsds; }
+
+  private:
+    afa::host::CpuTopology topo;
+    unsigned numSsds;
+    afa::host::CpuSet reserved;
+    std::vector<unsigned> fio;
+};
+
+} // namespace afa::core
+
+#endif // AFA_CORE_GEOMETRY_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Report formatting shared by the bench harnesses: the per-device
+ * percentile-ladder table (the data behind Figs. 6-9/11/13), the
+ * cross-device mean/stddev comparison (Figs. 12/14), and Table II.
+ */
+
+#ifndef AFA_CORE_REPORT_HH
+#define AFA_CORE_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "stats/table.hh"
+
+namespace afa::core {
+
+/** Per-device ladder table (one row per SSD), values in usec. */
+afa::stats::Table perDeviceTable(const ExperimentResult &result);
+
+/**
+ * Compact distribution view: for each ladder point, the min / mean /
+ * max across devices -- the visual envelope of the figure's 64
+ * curves.
+ */
+afa::stats::Table envelopeTable(const ExperimentResult &result);
+
+/** Mean and stddev per ladder point for several configurations. */
+afa::stats::Table comparisonTable(
+    const std::vector<std::pair<std::string,
+                                afa::stats::LadderAggregate>> &rows);
+
+/** The Table II row describing a geometry variant. */
+afa::stats::Table geometryTable(const Geometry &geometry,
+                                const std::vector<GeometryVariant>
+                                    &variants);
+
+/** One-paragraph run header (profile, boot line, workload, runs). */
+std::string describeExperiment(const ExperimentResult &result);
+
+} // namespace afa::core
+
+#endif // AFA_CORE_REPORT_HH

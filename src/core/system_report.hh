@@ -1,0 +1,26 @@
+/**
+ * @file
+ * System-wide activity report: where did the time go?
+ *
+ * Aggregates the per-component counters (CPU busy/irq time, scheduler
+ * pulls, c-state wakes, IRQ placement, fabric utilisation, SSD SMART
+ * stalls and hiccups) into the attribution tables an engineer would
+ * build from LTTng + /proc on the real testbed. Used by the figure
+ * benches' --report flag and the ssd_profiler example.
+ */
+
+#ifndef AFA_CORE_SYSTEM_REPORT_HH
+#define AFA_CORE_SYSTEM_REPORT_HH
+
+#include <string>
+
+#include "core/afa_system.hh"
+
+namespace afa::core {
+
+/** Render the full attribution report for a (finished) system. */
+std::string systemReport(AfaSystem &system);
+
+} // namespace afa::core
+
+#endif // AFA_CORE_SYSTEM_REPORT_HH

@@ -1,0 +1,87 @@
+#include "host/background.hh"
+
+#include "sim/logging.hh"
+
+namespace afa::host {
+
+BackgroundParams
+BackgroundParams::centos7Defaults()
+{
+    BackgroundParams p;
+    // llvmpipe: GNOME's software GL rasteriser -- multi-threaded,
+    // CPU-hungry, bursty at frame cadence.
+    p.classes.push_back(BackgroundClassParams{
+        "llvmpipe", 4, 0, afa::sim::msec(12), afa::sim::msec(26),
+        kAllCpus});
+    // lttng-consumerd: the paper's own tracer flushing ring buffers.
+    p.classes.push_back(BackgroundClassParams{
+        "lttng-consumerd", 2, 0, afa::sim::msec(3), afa::sim::msec(40),
+        kAllCpus});
+    // sshd and friends: rare, short.
+    p.classes.push_back(BackgroundClassParams{
+        "sshd", 2, 0, afa::sim::usec(400), afa::sim::msec(120),
+        kAllCpus});
+    // kworkers: frequent small kernel work items.
+    p.classes.push_back(BackgroundClassParams{
+        "kworker", 4, 0, afa::sim::usec(150), afa::sim::msec(15),
+        kAllCpus});
+    return p;
+}
+
+BackgroundParams
+BackgroundParams::none()
+{
+    return BackgroundParams{};
+}
+
+BackgroundLoad::BackgroundLoad(afa::sim::Simulator &simulator,
+                               std::string bg_name, Scheduler &scheduler,
+                               const BackgroundParams &params)
+    : SimObject(simulator, std::move(bg_name)), sched(scheduler),
+      bgParams(params), numBursts(0), started(false)
+{
+    for (const auto &cls : bgParams.classes) {
+        for (unsigned i = 0; i < cls.count; ++i) {
+            TaskParams tp;
+            tp.name = afa::sim::strfmt("%s/%u", cls.name.c_str(), i);
+            tp.klass = SchedClass::Fair;
+            tp.nice = cls.nice;
+            tp.affinity = cls.affinity;
+            ids.push_back(sched.createTask(tp));
+            classOf.push_back(&cls);
+        }
+    }
+}
+
+void
+BackgroundLoad::start()
+{
+    if (started)
+        return;
+    started = true;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        // Desynchronised starts.
+        Tick phase = static_cast<Tick>(rng().uniform(
+            0.0, static_cast<double>(classOf[i]->sleepMean) + 1.0));
+        after(phase, [this, i] { loop(i); });
+    }
+}
+
+void
+BackgroundLoad::loop(std::size_t which)
+{
+    const BackgroundClassParams &cls = *classOf[which];
+    auto burst = static_cast<Tick>(
+        rng().exponential(static_cast<double>(cls.burstMean)));
+    burst = std::max<Tick>(burst, afa::sim::usec(10));
+    sched.runFor(ids[which], burst, [this, which] {
+        ++numBursts;
+        const BackgroundClassParams &c = *classOf[which];
+        auto sleep = static_cast<Tick>(
+            rng().exponential(static_cast<double>(c.sleepMean)));
+        sleep = std::max<Tick>(sleep, afa::sim::usec(50));
+        after(sleep, [this, which] { loop(which); });
+    });
+}
+
+} // namespace afa::host

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The background-process zoo the paper found interfering with FIO:
+ * llvmpipe (GNOME's software rasteriser), lttng-consumerd (their own
+ * tracing), SSH daemons, and generic kernel worker threads. Each is a
+ * CPU-burst/sleep loop scheduled through the fair class, so the
+ * interference emerges from scheduling, not from scripted delays.
+ */
+
+#ifndef AFA_HOST_BACKGROUND_HH
+#define AFA_HOST_BACKGROUND_HH
+
+#include <string>
+#include <vector>
+
+#include "host/scheduler.hh"
+#include "sim/sim_object.hh"
+
+namespace afa::host {
+
+/** One class of background processes. */
+struct BackgroundClassParams
+{
+    std::string name;
+    unsigned count = 1;
+    int nice = 0;
+    /** Mean CPU burst length (exponential). */
+    Tick burstMean = afa::sim::msec(2);
+    /** Mean sleep between bursts (exponential). */
+    Tick sleepMean = afa::sim::msec(10);
+    CpuMask affinity = kAllCpus;
+};
+
+/** The mix of host daemons and kernel threads. */
+struct BackgroundParams
+{
+    std::vector<BackgroundClassParams> classes;
+
+    /** The CentOS 7 + GNOME + LTTng mix from the paper's Section
+     *  IV-B, scaled to a dual-socket storage host. */
+    static BackgroundParams centos7Defaults();
+
+    /** No background load at all (for calibration runs). */
+    static BackgroundParams none();
+};
+
+/** Spawns and drives the background tasks. */
+class BackgroundLoad : public afa::sim::SimObject
+{
+  public:
+    BackgroundLoad(afa::sim::Simulator &simulator, std::string bg_name,
+                   Scheduler &scheduler,
+                   const BackgroundParams &params);
+
+    /** Begin all burst/sleep loops. */
+    void start();
+
+    /** Task ids of every background task (for tests). */
+    const std::vector<TaskId> &taskIds() const { return ids; }
+
+    /** Total bursts executed so far. */
+    std::uint64_t bursts() const { return numBursts; }
+
+  private:
+    Scheduler &sched;
+    BackgroundParams bgParams;
+    std::vector<TaskId> ids;
+    std::vector<const BackgroundClassParams *> classOf;
+    std::uint64_t numBursts;
+    bool started;
+
+    void loop(std::size_t which);
+};
+
+} // namespace afa::host
+
+#endif // AFA_HOST_BACKGROUND_HH

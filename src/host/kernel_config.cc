@@ -1,0 +1,124 @@
+#include "host/kernel_config.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace afa::host {
+
+CpuSet
+parseCpuList(const std::string &list)
+{
+    CpuSet out;
+    std::stringstream ss(list);
+    std::string part;
+    while (std::getline(ss, part, ',')) {
+        if (part.empty())
+            continue;
+        auto dash = part.find('-');
+        try {
+            if (dash == std::string::npos) {
+                out.insert(static_cast<unsigned>(std::stoul(part)));
+            } else {
+                unsigned lo = static_cast<unsigned>(
+                    std::stoul(part.substr(0, dash)));
+                unsigned hi = static_cast<unsigned>(
+                    std::stoul(part.substr(dash + 1)));
+                if (hi < lo)
+                    afa::sim::fatal("bad cpu range '%s'", part.c_str());
+                for (unsigned c = lo; c <= hi; ++c)
+                    out.insert(c);
+            }
+        } catch (const std::invalid_argument &) {
+            afa::sim::fatal("bad cpu list entry '%s'", part.c_str());
+        } catch (const std::out_of_range &) {
+            afa::sim::fatal("cpu list entry out of range '%s'",
+                            part.c_str());
+        }
+    }
+    return out;
+}
+
+std::string
+formatCpuList(const CpuSet &cpus)
+{
+    std::ostringstream os;
+    auto it = cpus.begin();
+    bool first = true;
+    while (it != cpus.end()) {
+        unsigned lo = *it;
+        unsigned hi = lo;
+        auto next = std::next(it);
+        while (next != cpus.end() && *next == hi + 1) {
+            hi = *next;
+            ++next;
+        }
+        if (!first)
+            os << ",";
+        first = false;
+        if (lo == hi)
+            os << lo;
+        else
+            os << lo << "-" << hi;
+        it = next;
+    }
+    return os.str();
+}
+
+std::string
+KernelConfig::bootCommandLine() const
+{
+    std::ostringstream os;
+    bool first = true;
+    auto emit = [&](const std::string &opt) {
+        if (!first)
+            os << " ";
+        first = false;
+        os << opt;
+    };
+    if (!isolcpus.empty())
+        emit("isolcpus=" + formatCpuList(isolcpus));
+    if (!nohzFull.empty())
+        emit("nohz_full=" + formatCpuList(nohzFull));
+    if (!rcuNocbs.empty())
+        emit("rcu_nocbs=" + formatCpuList(rcuNocbs));
+    if (cstate.maxCstate != 6)
+        emit(afa::sim::strfmt("processor.max_cstate=%u",
+                              cstate.maxCstate));
+    if (cstate.idlePoll)
+        emit("idle=poll");
+    return os.str();
+}
+
+KernelConfig
+KernelConfig::fromBootCommandLine(const std::string &cmdline)
+{
+    KernelConfig cfg;
+    std::stringstream ss(cmdline);
+    std::string token;
+    while (ss >> token) {
+        auto eq = token.find('=');
+        std::string key =
+            eq == std::string::npos ? token : token.substr(0, eq);
+        std::string value =
+            eq == std::string::npos ? "" : token.substr(eq + 1);
+        if (key == "isolcpus") {
+            cfg.isolcpus = parseCpuList(value);
+        } else if (key == "nohz_full") {
+            cfg.nohzFull = parseCpuList(value);
+        } else if (key == "rcu_nocbs") {
+            cfg.rcuNocbs = parseCpuList(value);
+        } else if (key == "processor.max_cstate") {
+            cfg.cstate.maxCstate =
+                static_cast<unsigned>(std::stoul(value));
+        } else if (key == "idle") {
+            cfg.cstate.idlePoll = (value == "poll");
+        } else {
+            afa::sim::warn("ignoring unknown boot option '%s'",
+                           token.c_str());
+        }
+    }
+    return cfg;
+}
+
+} // namespace afa::host

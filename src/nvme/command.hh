@@ -1,0 +1,61 @@
+/**
+ * @file
+ * NVMe command representation used between the host driver model and
+ * the SSD controller model. LBAs are in 4 KiB logical blocks (the
+ * paper's I/O unit).
+ */
+
+#ifndef AFA_NVME_COMMAND_HH
+#define AFA_NVME_COMMAND_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace afa::nvme {
+
+using afa::sim::Tick;
+
+/** Logical block size all LBAs are expressed in. */
+constexpr std::uint32_t kLogicalBlockBytes = 4096;
+
+/** Operations the controller model implements. */
+enum class Op : std::uint8_t {
+    Read,        ///< NVM read
+    Write,       ///< NVM write
+    Flush,       ///< flush the volatile write buffer
+    Format,      ///< NVM format: return the drive to FOB state
+    GetLogPage,  ///< admin: SMART/health log query
+};
+
+/** The name of an op (for traces and tables). */
+const char *opName(Op op);
+
+/** One NVMe command. */
+struct NvmeCommand
+{
+    Op op = Op::Read;
+    std::uint64_t lba = 0;        ///< in 4 KiB blocks
+    std::uint32_t bytes = kLogicalBlockBytes;
+    std::uint16_t queueId = 0;    ///< submission queue (per host CPU)
+    std::uint64_t cmdId = 0;      ///< host-assigned tag
+    Tick submitted = 0;           ///< host submit tick (for accounting)
+};
+
+/** Completion status. */
+enum class Status : std::uint8_t {
+    Success,
+    InvalidField,
+};
+
+/** Completion record returned to the host. */
+struct NvmeCompletion
+{
+    std::uint64_t cmdId = 0;
+    std::uint16_t queueId = 0;
+    Status status = Status::Success;
+};
+
+} // namespace afa::nvme
+
+#endif // AFA_NVME_COMMAND_HH

@@ -1,0 +1,264 @@
+#include "nvme/controller.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace afa::nvme {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Read:
+        return "read";
+      case Op::Write:
+        return "write";
+      case Op::Flush:
+        return "flush";
+      case Op::Format:
+        return "format";
+      case Op::GetLogPage:
+        return "get-log-page";
+    }
+    return "unknown";
+}
+
+Controller::Controller(afa::sim::Simulator &simulator,
+                       std::string controller_name,
+                       const FirmwareConfig &firmware_config,
+                       afa::nand::NandArray &nand_array,
+                       const FtlParams &ftl_params,
+                       afa::sim::Tracer *trace_sink)
+    : SimObject(simulator, std::move(controller_name)),
+      fwConfig(firmware_config), nand(nand_array),
+      ftlLayer(simulator, name() + ".ftl", nand_array, ftl_params),
+      smartEngine(simulator, name() + ".smart", firmware_config.smart,
+                  trace_sink),
+      tracer(trace_sink), numQueuePairs(1), procBusy(0), xferBusy(0),
+      writePipeBusy(0), lastWriteEndLba(~std::uint64_t(0))
+{
+}
+
+void
+Controller::setTransport(TransportFn transport_fn)
+{
+    transport = std::move(transport_fn);
+}
+
+void
+Controller::setCompletionHandler(CompletionFn handler)
+{
+    completionHandler = std::move(handler);
+}
+
+void
+Controller::start()
+{
+    smartEngine.start();
+}
+
+void
+Controller::checkWired() const
+{
+    if (!transport || !completionHandler)
+        afa::sim::fatal("%s: transport/completion handler not wired",
+                        name().c_str());
+}
+
+Tick
+Controller::throughPipeline(Tick proc_time)
+{
+    Tick ready = std::max(now(), procBusy);
+    Tick stalled = std::max(ready, smartEngine.stalledUntil());
+    ctrlStats.smartStallDelay += stalled - ready;
+    procBusy = stalled + proc_time;
+    return procBusy;
+}
+
+Tick
+Controller::throughXfer(Tick ready, std::uint32_t bytes)
+{
+    Tick start = std::max(ready, xferBusy);
+    double secs =
+        static_cast<double>(bytes) / (fwConfig.internalMBps * 1e6);
+    xferBusy = start + static_cast<Tick>(secs * 1e9);
+    return xferBusy;
+}
+
+Tick
+Controller::sampleHiccup()
+{
+    if (!rng().chance(fwConfig.hiccupProbability))
+        return 0;
+    ++ctrlStats.hiccups;
+    auto penalty = static_cast<Tick>(rng().pareto(
+        static_cast<double>(fwConfig.hiccupScale), fwConfig.hiccupShape));
+    penalty = std::min(penalty, fwConfig.hiccupCap);
+    if (tracer)
+        tracer->record(now(), "nvme.hiccup",
+                       afa::sim::strfmt("%s +%.1f us", name().c_str(),
+                                        afa::sim::toUsec(penalty)));
+    return penalty;
+}
+
+void
+Controller::complete(const NvmeCommand &cmd, std::uint32_t reply_bytes,
+                     Status status)
+{
+    NvmeCompletion completion{cmd.cmdId, cmd.queueId, status};
+    transport(reply_bytes, [this, completion] {
+        completionHandler(completion);
+    });
+}
+
+void
+Controller::submit(const NvmeCommand &cmd)
+{
+    checkWired();
+    switch (cmd.op) {
+      case Op::Read:
+        serveRead(cmd);
+        break;
+      case Op::Write:
+        serveWrite(cmd);
+        break;
+      case Op::Flush:
+        serveFlush(cmd);
+        break;
+      case Op::Format:
+        serveFormat(cmd);
+        break;
+      case Op::GetLogPage:
+        serveLogPage(cmd);
+        break;
+    }
+}
+
+void
+Controller::serveRead(const NvmeCommand &cmd)
+{
+    if (cmd.bytes == 0 || cmd.bytes % kLogicalBlockBytes != 0) {
+        complete(cmd, 16, Status::InvalidField);
+        return;
+    }
+    const std::uint64_t blocks = cmd.bytes / kLogicalBlockBytes;
+    Tick pipe_done = throughPipeline(fwConfig.readProcTime);
+    at(pipe_done, [this, cmd, blocks] {
+        // Determine the media path: any mapped block forces NAND.
+        bool any_mapped = false;
+        for (std::uint64_t b = 0; b < blocks; ++b)
+            if (ftlLayer.isMapped(cmd.lba + b)) {
+                any_mapped = true;
+                break;
+            }
+        Tick hiccup = sampleHiccup();
+        auto finish = [this, cmd, hiccup](Tick media_done) {
+            Tick xfer_done =
+                throughXfer(media_done + hiccup, cmd.bytes);
+            at(xfer_done, [this, cmd] {
+                ++ctrlStats.readsCompleted;
+                ctrlStats.bytesRead += cmd.bytes;
+                complete(cmd, cmd.bytes + 16, Status::Success);
+            });
+        };
+        if (!any_mapped) {
+            // FOB zero-fill fast path: no NAND involved.
+            Tick media = static_cast<Tick>(rng().lognormal(
+                static_cast<double>(fwConfig.fobReadLatency),
+                fwConfig.fobReadSigma));
+            finish(now() + media);
+            return;
+        }
+        // Mapped: fan out one FTL read per mapped logical block;
+        // unmapped holes inside the range are served as zeroes.
+        auto remaining = std::make_shared<std::uint64_t>(0);
+        for (std::uint64_t b = 0; b < blocks; ++b)
+            if (ftlLayer.isMapped(cmd.lba + b))
+                ++*remaining;
+        auto on_block = [this, finish, remaining] {
+            if (--*remaining == 0)
+                finish(now());
+        };
+        for (std::uint64_t b = 0; b < blocks; ++b)
+            if (ftlLayer.isMapped(cmd.lba + b))
+                ftlLayer.readMapped(cmd.lba + b, on_block);
+    });
+}
+
+void
+Controller::serveWrite(const NvmeCommand &cmd)
+{
+    if (cmd.bytes == 0 || cmd.bytes % kLogicalBlockBytes != 0) {
+        complete(cmd, 16, Status::InvalidField);
+        return;
+    }
+    const std::uint64_t blocks = cmd.bytes / kLogicalBlockBytes;
+    Tick pipe_done = throughPipeline(fwConfig.readProcTime);
+    // Write pipe: sequential streams pay bandwidth, random writes pay
+    // the per-command FTL overhead that caps random IOPS (Table I).
+    bool sequential = cmd.lba == lastWriteEndLba;
+    lastWriteEndLba = cmd.lba + blocks;
+    double bw_secs =
+        static_cast<double>(cmd.bytes) / (fwConfig.writeMBps * 1e6);
+    Tick service = sequential
+        ? static_cast<Tick>(bw_secs * 1e9)
+        : std::max(static_cast<Tick>(bw_secs * 1e9),
+                   fwConfig.randomWriteOverhead);
+    Tick start = std::max(pipe_done, writePipeBusy);
+    writePipeBusy = start + service;
+    at(writePipeBusy, [this, cmd, blocks] {
+        auto remaining = std::make_shared<std::uint64_t>(blocks);
+        for (std::uint64_t b = 0; b < blocks; ++b) {
+            ftlLayer.write(cmd.lba + b, [this, cmd, remaining] {
+                if (--*remaining != 0)
+                    return;
+                ++ctrlStats.writesCompleted;
+                ctrlStats.bytesWritten += cmd.bytes;
+                complete(cmd, 16, Status::Success);
+            });
+        }
+    });
+}
+
+void
+Controller::serveFlush(const NvmeCommand &cmd)
+{
+    // A flush drains behind every write already in the write pipe.
+    Tick pipe_done = std::max(throughPipeline(fwConfig.readProcTime),
+                              writePipeBusy);
+    at(pipe_done, [this, cmd] {
+        ftlLayer.flush([this, cmd] {
+            ++ctrlStats.flushesCompleted;
+            complete(cmd, 16, Status::Success);
+        });
+    });
+}
+
+void
+Controller::serveFormat(const NvmeCommand &cmd)
+{
+    // Format stalls the whole device for its duration.
+    Tick pipe_done = throughPipeline(fwConfig.formatDuration);
+    at(pipe_done, [this, cmd] {
+        ftlLayer.format();
+        lastWriteEndLba = ~std::uint64_t(0);
+        ++ctrlStats.formatsCompleted;
+        complete(cmd, 16, Status::Success);
+    });
+}
+
+void
+Controller::serveLogPage(const NvmeCommand &cmd)
+{
+    Tick pipe_done = throughPipeline(fwConfig.logPageProcTime);
+    if (fwConfig.logPageStallsIo)
+        smartEngine.stallFor(fwConfig.logPageProcTime);
+    at(pipe_done, [this, cmd] {
+        ++ctrlStats.logPagesCompleted;
+        complete(cmd, 512 + 16, Status::Success);
+    });
+}
+
+} // namespace afa::nvme

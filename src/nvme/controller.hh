@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The NVMe SSD controller model.
+ *
+ * A command arriving from the host passes through:
+ *   1. the command pipeline, a serialising server (readProcTime per
+ *      command) that is also where SMART housekeeping stalls bite;
+ *   2. the media stage: zero-fill fast path for unmapped (FOB) reads,
+ *      NAND via the FTL for mapped data, the write pipe for writes;
+ *   3. the internal DMA engine (internalMBps) moving data to the host
+ *      buffer;
+ *   4. the transport (PCIe fabric, injected by the host glue), after
+ *      which the completion callback fires host-side.
+ *
+ * One controller exposes one queue pair per host logical CPU, like
+ * the Linux 4.7 NVMe driver the paper used (64 SSDs x 40 CPUs =
+ * 2,560 interrupt vectors system-wide).
+ */
+
+#ifndef AFA_NVME_CONTROLLER_HH
+#define AFA_NVME_CONTROLLER_HH
+
+#include <functional>
+
+#include "nand/nand_array.hh"
+#include "nvme/command.hh"
+#include "nvme/firmware_config.hh"
+#include "nvme/ftl.hh"
+#include "nvme/smart.hh"
+#include "sim/sim_object.hh"
+#include "sim/trace.hh"
+
+namespace afa::nvme {
+
+/** Controller activity counters. */
+struct ControllerStats
+{
+    std::uint64_t readsCompleted = 0;
+    std::uint64_t writesCompleted = 0;
+    std::uint64_t flushesCompleted = 0;
+    std::uint64_t formatsCompleted = 0;
+    std::uint64_t logPagesCompleted = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    std::uint64_t hiccups = 0;
+    Tick smartStallDelay = 0; ///< total time commands waited on SMART
+};
+
+/** The SSD controller. */
+class Controller : public afa::sim::SimObject
+{
+  public:
+    /** Invoked host-side when a completion has been delivered. */
+    using CompletionFn = std::function<void(const NvmeCompletion &)>;
+
+    /**
+     * Device-to-host delivery; injected by the host glue, typically
+     * Fabric::send(deviceNode, hostNode, ...).
+     */
+    using TransportFn =
+        std::function<void(std::uint32_t bytes, afa::sim::EventFn)>;
+
+    Controller(afa::sim::Simulator &simulator,
+               std::string controller_name,
+               const FirmwareConfig &firmware_config,
+               afa::nand::NandArray &nand_array,
+               const FtlParams &ftl_params,
+               afa::sim::Tracer *tracer = nullptr);
+
+    /** Install the device-to-host transport. Required before use. */
+    void setTransport(TransportFn transport);
+
+    /** Install the host completion handler. Required before use. */
+    void setCompletionHandler(CompletionFn handler);
+
+    /** Begin background activity (the SMART schedule). */
+    void start();
+
+    /**
+     * A command has arrived at the device (the host glue calls this
+     * after simulating the submission-side fabric transfer).
+     */
+    void submit(const NvmeCommand &cmd);
+
+    /** Number of queue pairs this controller exposes. */
+    unsigned queuePairs() const { return numQueuePairs; }
+
+    /** Configure the queue pair count (host driver does at probe). */
+    void setQueuePairs(unsigned count) { numQueuePairs = count; }
+
+    Ftl &ftl() { return ftlLayer; }
+    const Ftl &ftl() const { return ftlLayer; }
+    SmartEngine &smart() { return smartEngine; }
+    const FirmwareConfig &firmware() const { return fwConfig; }
+    const ControllerStats &stats() const { return ctrlStats; }
+
+  private:
+    FirmwareConfig fwConfig;
+    afa::nand::NandArray &nand;
+    Ftl ftlLayer;
+    SmartEngine smartEngine;
+    afa::sim::Tracer *tracer;
+
+    TransportFn transport;
+    CompletionFn completionHandler;
+    unsigned numQueuePairs;
+
+    // Busy horizons of the serialising stages.
+    Tick procBusy;
+    Tick xferBusy;
+    Tick writePipeBusy;
+    std::uint64_t lastWriteEndLba;
+
+    ControllerStats ctrlStats;
+
+    void serveRead(const NvmeCommand &cmd);
+    void serveWrite(const NvmeCommand &cmd);
+    void serveFlush(const NvmeCommand &cmd);
+    void serveFormat(const NvmeCommand &cmd);
+    void serveLogPage(const NvmeCommand &cmd);
+
+    /** Pass through the command pipeline; returns its exit tick. */
+    Tick throughPipeline(Tick proc_time);
+
+    /** Reserve the internal DMA engine from @p ready; returns end. */
+    Tick throughXfer(Tick ready, std::uint32_t bytes);
+
+    /** Sample an optional firmware hiccup penalty. */
+    Tick sampleHiccup();
+
+    void complete(const NvmeCommand &cmd, std::uint32_t reply_bytes,
+                  Status status);
+    void checkWired() const;
+};
+
+} // namespace afa::nvme
+
+#endif // AFA_NVME_CONTROLLER_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Page-mapped flash translation layer.
+ *
+ * Logical 4 KiB blocks map onto 4 KiB slots within NAND pages.
+ * Writes are buffered in controller DRAM, packed into full pages, and
+ * programmed log-structured with the page stream striped round-robin
+ * across dies (one open block per die) for parallelism; a greedy
+ * garbage collector reclaims the emptiest blocks when the free pool
+ * runs low.
+ *
+ * In the paper's experiments every drive is kept FOB (fresh out of
+ * box, via NVMe format), so host reads never consult NAND; the FTL
+ * exists to support the Table I spec benches, flush semantics, and the
+ * aged-drive (non-FOB) ablation the paper lists as future work.
+ */
+
+#ifndef AFA_NVME_FTL_HH
+#define AFA_NVME_FTL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "nand/nand_array.hh"
+#include "nvme/command.hh"
+#include "sim/sim_object.hh"
+
+namespace afa::nvme {
+
+using afa::sim::Tick;
+
+/** FTL geometry and policy. */
+struct FtlParams
+{
+    /** Exported logical capacity in 4 KiB blocks. */
+    std::uint64_t logicalBlocks = 262144; // 1 GiB
+
+    /** Physical / logical capacity ratio. */
+    double overProvision = 1.25;
+
+    /** Start GC when the free block pool drops below this count. */
+    unsigned gcFreeBlockThreshold = 4;
+
+    /** Stop GC when the pool recovers to this count. */
+    unsigned gcFreeBlockTarget = 8;
+
+    /** Volatile write buffer capacity in 4 KiB entries. */
+    unsigned writeBufferEntries = 1024;
+};
+
+/** FTL activity counters. */
+struct FtlStats
+{
+    std::uint64_t hostWrites = 0;
+    std::uint64_t hostReadsMapped = 0;
+    std::uint64_t gcPageReads = 0;
+    std::uint64_t gcSlotWrites = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t programs = 0;
+    std::uint64_t gcRuns = 0;
+};
+
+/**
+ * The FTL. All operations are asynchronous; callbacks fire on the
+ * owning simulator's event loop.
+ */
+class Ftl : public afa::sim::SimObject
+{
+  public:
+    using DoneFn = std::function<void()>;
+
+    Ftl(afa::sim::Simulator &simulator, std::string ftl_name,
+        afa::nand::NandArray &nand_array, const FtlParams &ftl_params);
+
+    /** True when @p lba has been written since the last format. */
+    bool isMapped(std::uint64_t lba) const;
+
+    /**
+     * Read a mapped logical block from NAND. The caller must ensure
+     * isMapped(lba); unmapped reads take the controller's zero-fill
+     * fast path instead.
+     */
+    void readMapped(std::uint64_t lba, DoneFn done);
+
+    /**
+     * Write a logical block. @p on_buffered fires when the data is
+     * accepted into the volatile buffer (possibly delayed by buffer
+     * backpressure); programming to NAND proceeds asynchronously.
+     */
+    void write(std::uint64_t lba, DoneFn on_buffered);
+
+    /** Flush: @p done fires once every buffered entry is on NAND. */
+    void flush(DoneFn done);
+
+    /** Return the drive to FOB: all mappings dropped. Instant. */
+    void format();
+
+    /**
+     * Instantly mark a fraction of the logical space as written
+     * (page-striped across dies, like the write path would), without
+     * modelling the write traffic. Used to set up aged-drive and
+     * Table I read experiments.
+     */
+    void precondition(double mapped_fraction);
+
+    /** Entries currently buffered in DRAM. */
+    unsigned buffered() const { return bufferedEntries; }
+
+    /** Free NAND blocks remaining (across all dies). */
+    std::size_t freeBlocks() const;
+
+    /** Logical capacity in 4 KiB blocks. */
+    std::uint64_t logicalBlocks() const { return params.logicalBlocks; }
+
+    const FtlStats &stats() const { return ftlStats; }
+
+  private:
+    static constexpr std::uint64_t kUnmapped = ~std::uint64_t(0);
+
+    /**
+     * Free blocks kept back for GC relocation (write-cliff guard).
+     * One per die: a relocation pass can close at most one frontier
+     * block per die before its erase returns a block to the pool.
+     */
+    std::size_t reserveBlocks;
+    unsigned gcThreshold; ///< effective, >= reserveBlocks + 2
+    unsigned gcTarget;    ///< effective, >= gcThreshold + 2
+
+    struct BlockInfo
+    {
+        std::uint32_t validSlots = 0;
+        bool open = false; ///< currently a write frontier
+        bool free = true;  ///< in the free pool
+    };
+
+    /** Per-die write frontier (one open block per die). */
+    struct DieFrontier
+    {
+        bool valid = false;
+        std::uint64_t block = 0; ///< global block id
+        std::uint32_t page = 0;
+        std::uint32_t slot = 0;
+        unsigned stagedHostEntries = 0; ///< host slots in current page
+    };
+
+    FtlParams params;
+    afa::nand::NandArray &nand;
+    unsigned slotsPerPage;
+    std::uint64_t totalBlocksPhys; ///< NAND blocks across all dies
+    std::uint64_t slotsPerBlock;
+    unsigned dies;
+
+    std::vector<std::uint64_t> map;     ///< lba -> phys slot
+    std::vector<std::uint64_t> reverse; ///< phys slot -> lba
+    std::vector<BlockInfo> blockInfo;   ///< per physical block
+    std::vector<std::vector<std::uint64_t>> freePerDie;
+    std::vector<DieFrontier> frontier;
+    unsigned nextDie;
+
+    unsigned bufferedEntries;
+    std::deque<std::pair<std::uint64_t, DoneFn>> pendingWrites;
+    std::vector<DoneFn> flushWaiters;
+    unsigned outstandingPrograms;
+    bool gcActive;
+    bool writeStructuresReady;
+
+    FtlStats ftlStats;
+
+    void ensureWriteStructures();
+    bool canAdmitWrite() const;
+    void admitPendingWrites();
+    void placeWrite(std::uint64_t lba, DoneFn on_buffered);
+    /** Allocate the next slot on the striped frontier. */
+    std::uint64_t allocSlot(bool host_path);
+    void openBlockOnDie(unsigned die);
+    void programFrontierPage(unsigned die);
+    void maybeStartGc();
+    void gcStep();
+    void finishProgram(unsigned host_entries);
+    afa::nand::PageAddr slotToAddr(std::uint64_t slot) const;
+    std::uint64_t blockOfSlot(std::uint64_t slot) const;
+    void invalidate(std::uint64_t lba);
+    void checkFlushWaiters();
+    bool drained() const;
+};
+
+} // namespace afa::nvme
+
+#endif // AFA_NVME_FTL_HH

@@ -1,0 +1,60 @@
+#include "nvme/smart.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace afa::nvme {
+
+SmartEngine::SmartEngine(afa::sim::Simulator &simulator,
+                         std::string engine_name,
+                         const SmartConfig &smart_config,
+                         afa::sim::Tracer *trace_sink)
+    : SimObject(simulator, std::move(engine_name)),
+      smartConfig(smart_config), tracer(trace_sink), stallHorizon(0),
+      numCollections(0), numSaves(0)
+{
+}
+
+void
+SmartEngine::start()
+{
+    if (!smartConfig.enabled)
+        return;
+    // Randomised phase so 64 drives do not collect in lockstep --
+    // matching the paper's observation that spikes from different
+    // SSDs appear at different sample indices.
+    Tick phase = static_cast<Tick>(
+        rng().uniform(0.0, static_cast<double>(smartConfig.period)));
+    after(phase, [this] { collect(); });
+}
+
+void
+SmartEngine::collect()
+{
+    ++numCollections;
+    bool is_save = smartConfig.saveEvery != 0 &&
+        (numCollections % smartConfig.saveEvery) == 0;
+    Tick median = is_save ? smartConfig.saveDuration
+                          : smartConfig.updateDuration;
+    Tick duration = static_cast<Tick>(rng().lognormal(
+        static_cast<double>(median), smartConfig.durationSigma));
+    if (is_save)
+        ++numSaves;
+    stallFor(duration);
+    if (tracer)
+        tracer->record(now(), "nvme.smart",
+                       afa::sim::strfmt("%s %s stall %.1f us",
+                                        name().c_str(),
+                                        is_save ? "save" : "update",
+                                        afa::sim::toUsec(duration)));
+    after(smartConfig.period, [this] { collect(); });
+}
+
+void
+SmartEngine::stallFor(Tick duration)
+{
+    stallHorizon = std::max(stallHorizon, now() + duration);
+}
+
+} // namespace afa::nvme

@@ -1,0 +1,206 @@
+#include "pcie/fabric.hh"
+
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace afa::pcie {
+
+using afa::sim::EventFn;
+using afa::sim::Simulator;
+
+Fabric::Fabric(Simulator &simulator, std::string fabric_name)
+    : SimObject(simulator, std::move(fabric_name)), isFinalized(false)
+{
+}
+
+NodeId
+Fabric::addEndpoint(const std::string &node_name)
+{
+    if (isFinalized)
+        afa::sim::fatal("fabric %s: cannot add nodes after finalize()",
+                        name().c_str());
+    nodeInfo.push_back(NodeInfo{node_name, false, 0, {}});
+    return static_cast<NodeId>(nodeInfo.size() - 1);
+}
+
+NodeId
+Fabric::addSwitch(const std::string &node_name, Tick forward_latency)
+{
+    if (isFinalized)
+        afa::sim::fatal("fabric %s: cannot add nodes after finalize()",
+                        name().c_str());
+    nodeInfo.push_back(NodeInfo{node_name, true, forward_latency, {}});
+    return static_cast<NodeId>(nodeInfo.size() - 1);
+}
+
+void
+Fabric::checkNode(NodeId id) const
+{
+    if (id >= nodeInfo.size())
+        afa::sim::panic("fabric %s: bad node id %u", name().c_str(), id);
+}
+
+void
+Fabric::connect(NodeId a, NodeId b, const LinkParams &params)
+{
+    if (isFinalized)
+        afa::sim::fatal("fabric %s: cannot connect after finalize()",
+                        name().c_str());
+    checkNode(a);
+    checkNode(b);
+    if (a == b)
+        afa::sim::fatal("fabric %s: self-link on node %u",
+                        name().c_str(), a);
+    links.emplace_back(nodeInfo[a].name + "->" + nodeInfo[b].name,
+                       params);
+    nodeInfo[a].out.emplace_back(b, links.size() - 1);
+    links.emplace_back(nodeInfo[b].name + "->" + nodeInfo[a].name,
+                       params);
+    nodeInfo[b].out.emplace_back(a, links.size() - 1);
+}
+
+void
+Fabric::finalize()
+{
+    const std::size_t n = nodeInfo.size();
+    nextHop.assign(n, std::vector<NodeId>(n, kInvalidNode));
+    // BFS from every destination, recording each node's parent-ward
+    // neighbour (first hop toward dst).
+    for (NodeId dst = 0; dst < n; ++dst) {
+        std::vector<NodeId> toward(n, kInvalidNode);
+        std::deque<NodeId> queue{dst};
+        std::vector<bool> seen(n, false);
+        seen[dst] = true;
+        while (!queue.empty()) {
+            NodeId cur = queue.front();
+            queue.pop_front();
+            for (const auto &[nbr, li] : nodeInfo[cur].out) {
+                (void)li;
+                if (seen[nbr])
+                    continue;
+                seen[nbr] = true;
+                toward[nbr] = cur;
+                queue.push_back(nbr);
+            }
+        }
+        for (NodeId src = 0; src < n; ++src)
+            nextHop[src][dst] = toward[src];
+    }
+    isFinalized = true;
+}
+
+std::size_t
+Fabric::linkIndex(NodeId from, NodeId to) const
+{
+    for (const auto &[nbr, li] : nodeInfo[from].out)
+        if (nbr == to)
+            return li;
+    afa::sim::panic("fabric %s: no link %s->%s", name().c_str(),
+                    nodeInfo[from].name.c_str(),
+                    nodeInfo[to].name.c_str());
+}
+
+const Link *
+Fabric::linkBetween(NodeId from, NodeId to) const
+{
+    for (const auto &[nbr, li] : nodeInfo[from].out)
+        if (nbr == to)
+            return &links[li];
+    return nullptr;
+}
+
+const std::string &
+Fabric::nodeName(NodeId id) const
+{
+    checkNode(id);
+    return nodeInfo[id].name;
+}
+
+void
+Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
+            EventFn on_delivered)
+{
+    NodeId next = nextHop[at_node][dst];
+    if (next == kInvalidNode)
+        afa::sim::fatal("fabric %s: no route %s -> %s", name().c_str(),
+                        nodeInfo[at_node].name.c_str(),
+                        nodeInfo[dst].name.c_str());
+    Link &link = links[linkIndex(at_node, next)];
+    Tick enter = now();
+    Tick arrive = link.transfer(enter, bytes);
+    fabricStats.totalQueueDelay += (arrive - enter) -
+        link.serialization(bytes) - link.params().propagation;
+    if (next == dst) {
+        at(arrive, std::move(on_delivered));
+        return;
+    }
+    Tick forwarded = arrive + nodeInfo[next].forwardLatency;
+    at(forwarded,
+       [this, next, dst, bytes, cb = std::move(on_delivered)]() mutable {
+           hop(next, dst, bytes, std::move(cb));
+       });
+}
+
+void
+Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
+             EventFn on_delivered)
+{
+    if (!isFinalized)
+        afa::sim::fatal("fabric %s: send before finalize()",
+                        name().c_str());
+    checkNode(src);
+    checkNode(dst);
+    ++fabricStats.packets;
+    fabricStats.bytes += bytes;
+    if (src == dst) {
+        after(0, std::move(on_delivered));
+        return;
+    }
+    hop(src, dst, bytes, std::move(on_delivered));
+}
+
+Tick
+Fabric::unloadedLatency(NodeId src, NodeId dst,
+                        std::uint32_t bytes) const
+{
+    if (!isFinalized)
+        afa::sim::fatal("fabric %s: unloadedLatency before finalize()",
+                        name().c_str());
+    Tick total = 0;
+    NodeId at_node = src;
+    while (at_node != dst) {
+        NodeId next = nextHop[at_node][dst];
+        if (next == kInvalidNode)
+            afa::sim::fatal("fabric %s: no route %s -> %s",
+                            name().c_str(),
+                            nodeInfo[at_node].name.c_str(),
+                            nodeInfo[dst].name.c_str());
+        const Link &link = links[linkIndex(at_node, next)];
+        total += link.serialization(bytes) + link.params().propagation;
+        if (next != dst)
+            total += nodeInfo[next].forwardLatency;
+        at_node = next;
+    }
+    return total;
+}
+
+unsigned
+Fabric::hopCount(NodeId src, NodeId dst) const
+{
+    if (!isFinalized)
+        afa::sim::fatal("fabric %s: hopCount before finalize()",
+                        name().c_str());
+    unsigned hops = 0;
+    NodeId at_node = src;
+    while (at_node != dst) {
+        NodeId next = nextHop[at_node][dst];
+        if (next == kInvalidNode)
+            return 0;
+        ++hops;
+        at_node = next;
+    }
+    return hops;
+}
+
+} // namespace afa::pcie

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The PCIe switch fabric: nodes (endpoints and store-and-forward
+ * switches) joined by Links, with shortest-path routing.
+ *
+ * A send() walks the precomputed route hop by hop; each hop is one
+ * simulator event, so contention on any link or switch naturally
+ * delays everything behind it.
+ */
+
+#ifndef AFA_PCIE_FABRIC_HH
+#define AFA_PCIE_FABRIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcie/link.hh"
+#include "sim/sim_object.hh"
+
+namespace afa::pcie {
+
+/** Identifies a fabric node (endpoint or switch). */
+using NodeId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/** Fabric-wide traffic statistics. */
+struct FabricStats
+{
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    Tick totalQueueDelay = 0;
+};
+
+/**
+ * A tree/mesh of PCIe switches and endpoints.
+ *
+ * Build with addEndpoint()/addSwitch()/connect(), then finalize()
+ * (computes routes), then send().
+ */
+class Fabric : public afa::sim::SimObject
+{
+  public:
+    Fabric(afa::sim::Simulator &simulator, std::string fabric_name);
+
+    /** Add a leaf device (host root complex or SSD endpoint). */
+    NodeId addEndpoint(const std::string &node_name);
+
+    /**
+     * Add a store-and-forward switch with the given per-packet
+     * forwarding latency.
+     */
+    NodeId addSwitch(const std::string &node_name, Tick forward_latency);
+
+    /**
+     * Join two nodes with a bidirectional link (one Link object per
+     * direction, so each direction serialises independently, like the
+     * separate TX/RX lanes of real PCIe).
+     */
+    void connect(NodeId a, NodeId b, const LinkParams &params);
+
+    /** Compute routing tables. Must be called before send(). */
+    void finalize();
+
+    /** True once finalize() has run. */
+    bool finalized() const { return isFinalized; }
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p on_delivered fires when
+     * the last byte has arrived at @p dst.
+     */
+    void send(NodeId src, NodeId dst, std::uint32_t bytes,
+              afa::sim::EventFn on_delivered);
+
+    /**
+     * Estimated unloaded delivery latency (no queueing) for planning
+     * and tests.
+     */
+    Tick unloadedLatency(NodeId src, NodeId dst,
+                         std::uint32_t bytes) const;
+
+    /** Number of link hops between two nodes. */
+    unsigned hopCount(NodeId src, NodeId dst) const;
+
+    /** Node count. */
+    std::size_t nodes() const { return nodeInfo.size(); }
+
+    /** Directed link between adjacent nodes (for stats); null if none. */
+    const Link *linkBetween(NodeId from, NodeId to) const;
+
+    /** Fabric-wide stats. */
+    const FabricStats &stats() const { return fabricStats; }
+
+    /** Name of a node. */
+    const std::string &nodeName(NodeId id) const;
+
+  private:
+    struct NodeInfo
+    {
+        std::string name;
+        bool isSwitch = false;
+        Tick forwardLatency = 0;
+        // Adjacency: (neighbour, index into links of the directed
+        // link this->neighbour).
+        std::vector<std::pair<NodeId, std::size_t>> out;
+    };
+
+    std::vector<NodeInfo> nodeInfo;
+    std::vector<Link> links;
+    // nextHop[src][dst] = neighbour on the shortest path.
+    std::vector<std::vector<NodeId>> nextHop;
+    bool isFinalized;
+    FabricStats fabricStats;
+
+    void hop(NodeId at, NodeId dst, std::uint32_t bytes,
+             afa::sim::EventFn on_delivered);
+    std::size_t linkIndex(NodeId from, NodeId to) const;
+    void checkNode(NodeId id) const;
+};
+
+} // namespace afa::pcie
+
+#endif // AFA_PCIE_FABRIC_HH

@@ -1,0 +1,50 @@
+#include "pcie/link.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace afa::pcie {
+
+double
+LinkParams::bytesPerSec()  const
+{
+    double per_lane = 0.0;
+    switch (gen) {
+      case Gen::Gen3:
+        per_lane = 800e6; // effective, see header
+        break;
+    }
+    return per_lane * lanes;
+}
+
+Link::Link(std::string link_name, const LinkParams &params)
+    : linkName(std::move(link_name)), linkParams(params), busyHorizon(0),
+      totalBytes(0), totalTransfers(0), totalBusy(0), totalQueueDelay(0)
+{
+    if (params.lanes == 0 || params.lanes > 16)
+        afa::sim::fatal("link %s: lane count %u out of [1,16]",
+                        linkName.c_str(), params.lanes);
+}
+
+Tick
+Link::serialization(std::uint32_t bytes) const
+{
+    double secs = static_cast<double>(bytes) / linkParams.bytesPerSec();
+    return static_cast<Tick>(secs * 1e9);
+}
+
+Tick
+Link::transfer(Tick now, std::uint32_t bytes)
+{
+    Tick start = std::max(now, busyHorizon);
+    Tick ser = serialization(bytes);
+    busyHorizon = start + ser;
+    totalBytes += bytes;
+    ++totalTransfers;
+    totalBusy += ser;
+    totalQueueDelay += start - now;
+    return busyHorizon + linkParams.propagation;
+}
+
+} // namespace afa::pcie

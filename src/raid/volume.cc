@@ -1,0 +1,176 @@
+#include "raid/volume.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "nvme/command.hh"
+#include "sim/logging.hh"
+
+namespace afa::raid {
+
+using afa::workload::IoRequest;
+
+StripedVolume::StripedVolume(afa::sim::Simulator &simulator,
+                             std::string volume_name,
+                             afa::workload::IoEngine &engine,
+                             std::vector<unsigned> member_devices,
+                             std::uint32_t strip_blocks)
+    : SimObject(simulator, std::move(volume_name)), inner(engine),
+      members(std::move(member_devices)), stripBlocks(strip_blocks)
+{
+    if (members.empty())
+        afa::sim::fatal("%s: a volume needs at least one member",
+                        name().c_str());
+    if (stripBlocks == 0)
+        afa::sim::fatal("%s: strip size must be >= 1 block",
+                        name().c_str());
+}
+
+std::pair<unsigned, std::uint64_t>
+StripedVolume::mapBlock(std::uint64_t volume_lba) const
+{
+    std::uint64_t strip = volume_lba / stripBlocks;
+    std::uint64_t within = volume_lba % stripBlocks;
+    unsigned member = static_cast<unsigned>(strip % members.size());
+    std::uint64_t member_strip = strip / members.size();
+    return {member, member_strip * stripBlocks + within};
+}
+
+std::uint64_t
+StripedVolume::deviceBlocks(unsigned device) const
+{
+    if (device != 0)
+        afa::sim::panic("%s: volumes expose a single device 0",
+                        name().c_str());
+    std::uint64_t smallest = inner.deviceBlocks(members[0]);
+    for (unsigned m : members)
+        smallest = std::min(smallest, inner.deviceBlocks(m));
+    return smallest * members.size();
+}
+
+void
+StripedVolume::submit(unsigned cpu, const IoRequest &request,
+                      CompleteFn on_device_complete)
+{
+    if (request.device != 0)
+        afa::sim::panic("%s: volumes expose a single device 0",
+                        name().c_str());
+    const std::uint64_t blocks =
+        request.bytes / afa::nvme::kLogicalBlockBytes;
+    if (blocks == 0)
+        afa::sim::panic("%s: zero-length volume I/O", name().c_str());
+    ++volStats.clientIos;
+    if (request.op == afa::nvme::Op::Write)
+        ++volStats.writes;
+    else
+        ++volStats.reads;
+
+    // Coalesce the block run into contiguous per-member extents
+    // (member LBAs ascend monotonically as the volume LBA does).
+    struct SubIo
+    {
+        unsigned member;
+        std::uint64_t lba;
+        std::uint32_t blocks;
+    };
+    std::vector<SubIo> subs;
+    std::vector<int> open(members.size(), -1); // member -> subs index
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        auto [member, lba] = mapBlock(request.lba + b);
+        int idx = open[member];
+        if (idx >= 0 &&
+            subs[idx].lba + subs[idx].blocks == lba) {
+            ++subs[idx].blocks;
+        } else {
+            open[member] = static_cast<int>(subs.size());
+            subs.push_back(SubIo{member, lba, 1});
+        }
+    }
+
+    // Fan out; the client completes with the slowest member (the
+    // tail-at-scale join). The reported handler CPU is the last
+    // completion's, matching what a reaping thread would observe.
+    auto remaining = std::make_shared<std::size_t>(subs.size());
+    volStats.memberIos += subs.size();
+    for (const SubIo &sub : subs) {
+        IoRequest child;
+        child.device = members[sub.member];
+        child.op = request.op;
+        child.lba = sub.lba;
+        child.bytes = sub.blocks * afa::nvme::kLogicalBlockBytes;
+        inner.submit(cpu, child,
+                     [remaining, on_device_complete](
+                         unsigned handler_cpu) {
+                         if (--*remaining == 0)
+                             on_device_complete(handler_cpu);
+                     });
+    }
+}
+
+MirroredVolume::MirroredVolume(afa::sim::Simulator &simulator,
+                               std::string volume_name,
+                               afa::workload::IoEngine &engine,
+                               std::vector<unsigned> member_devices,
+                               ReadPolicy read_policy)
+    : SimObject(simulator, std::move(volume_name)), inner(engine),
+      members(std::move(member_devices)), policy(read_policy),
+      nextRead(0)
+{
+    if (members.empty())
+        afa::sim::fatal("%s: a volume needs at least one member",
+                        name().c_str());
+    memberReads.assign(members.size(), 0);
+}
+
+std::uint64_t
+MirroredVolume::deviceBlocks(unsigned device) const
+{
+    if (device != 0)
+        afa::sim::panic("%s: volumes expose a single device 0",
+                        name().c_str());
+    std::uint64_t smallest = inner.deviceBlocks(members[0]);
+    for (unsigned m : members)
+        smallest = std::min(smallest, inner.deviceBlocks(m));
+    return smallest;
+}
+
+void
+MirroredVolume::submit(unsigned cpu, const IoRequest &request,
+                       CompleteFn on_device_complete)
+{
+    if (request.device != 0)
+        afa::sim::panic("%s: volumes expose a single device 0",
+                        name().c_str());
+    ++volStats.clientIos;
+    if (request.op == afa::nvme::Op::Write) {
+        // Replicate; complete with the slowest member.
+        ++volStats.writes;
+        volStats.memberIos += members.size();
+        auto remaining = std::make_shared<std::size_t>(members.size());
+        for (unsigned m : members) {
+            IoRequest child = request;
+            child.device = m;
+            inner.submit(cpu, child,
+                         [remaining, on_device_complete](
+                             unsigned handler_cpu) {
+                             if (--*remaining == 0)
+                                 on_device_complete(handler_cpu);
+                         });
+        }
+        return;
+    }
+    // Read from one member per the policy.
+    ++volStats.reads;
+    ++volStats.memberIos;
+    unsigned pick = 0;
+    if (policy == ReadPolicy::RoundRobin) {
+        pick = nextRead;
+        nextRead = (nextRead + 1) % members.size();
+    }
+    ++memberReads[pick];
+    IoRequest child = request;
+    child.device = members[pick];
+    inner.submit(cpu, child, std::move(on_device_complete));
+}
+
+} // namespace afa::raid

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Striped and mirrored volumes over the AFA.
+ *
+ * The paper's introduction motivates why tail latency dominates AFA
+ * design: "one request from a client is divided into multiple I/Os,
+ * which are then distributed to many SSDs in parallel as in RAID ...
+ * long tail latency of the slowest SSD decides the system's overall
+ * responsiveness" (the Dean & Barroso tail-at-scale effect). These
+ * volumes make that effect measurable: a StripedVolume fans a client
+ * I/O out across member SSDs and completes when the *slowest* member
+ * does; a MirroredVolume replicates writes and spreads reads.
+ *
+ * Volumes implement workload::IoEngine, so a FioThread can drive a
+ * volume exactly as it drives a raw device -- composition mirrors the
+ * Linux block stack (md/dm over nvme).
+ */
+
+#ifndef AFA_RAID_VOLUME_HH
+#define AFA_RAID_VOLUME_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "workload/io_engine.hh"
+
+namespace afa::raid {
+
+/** Statistics of a volume. */
+struct VolumeStats
+{
+    std::uint64_t clientIos = 0;
+    std::uint64_t memberIos = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * RAID-0: client LBAs striped strip-by-strip across member devices.
+ * A client I/O spanning several strips completes when every member
+ * sub-I/O has completed (the fan-out join that exposes the slowest
+ * member's tail).
+ */
+class StripedVolume : public afa::sim::SimObject,
+                      public afa::workload::IoEngine
+{
+  public:
+    /**
+     * @param engine the underlying device engine (the NVMe driver)
+     * @param members device indices forming the volume
+     * @param strip_blocks strip size in 4 KiB blocks
+     */
+    StripedVolume(afa::sim::Simulator &simulator,
+                  std::string volume_name,
+                  afa::workload::IoEngine &engine,
+                  std::vector<unsigned> members,
+                  std::uint32_t strip_blocks = 1);
+
+    void submit(unsigned cpu, const afa::workload::IoRequest &request,
+                CompleteFn on_device_complete) override;
+
+    /** Volume capacity: the striped sum of member capacities. */
+    std::uint64_t deviceBlocks(unsigned device) const override;
+
+    unsigned width() const
+    {
+        return static_cast<unsigned>(members.size());
+    }
+    const VolumeStats &stats() const { return volStats; }
+
+    /** Map a volume LBA to (member index, member LBA). */
+    std::pair<unsigned, std::uint64_t>
+    mapBlock(std::uint64_t volume_lba) const;
+
+  private:
+    afa::workload::IoEngine &inner;
+    std::vector<unsigned> members;
+    std::uint32_t stripBlocks;
+    VolumeStats volStats;
+};
+
+/** Read-balancing policy of a mirrored volume. */
+enum class ReadPolicy : std::uint8_t {
+    RoundRobin, ///< alternate members
+    Primary,    ///< always the first member
+};
+
+/**
+ * RAID-1: every write goes to all members (completes with the
+ * slowest); reads go to one member per the policy.
+ */
+class MirroredVolume : public afa::sim::SimObject,
+                       public afa::workload::IoEngine
+{
+  public:
+    MirroredVolume(afa::sim::Simulator &simulator,
+                   std::string volume_name,
+                   afa::workload::IoEngine &engine,
+                   std::vector<unsigned> members,
+                   ReadPolicy policy = ReadPolicy::RoundRobin);
+
+    void submit(unsigned cpu, const afa::workload::IoRequest &request,
+                CompleteFn on_device_complete) override;
+
+    /** Volume capacity: the smallest member's. */
+    std::uint64_t deviceBlocks(unsigned device) const override;
+
+    const VolumeStats &stats() const { return volStats; }
+
+    /** Reads served by each member (policy verification). */
+    const std::vector<std::uint64_t> &readsPerMember() const
+    {
+        return memberReads;
+    }
+
+  private:
+    afa::workload::IoEngine &inner;
+    std::vector<unsigned> members;
+    ReadPolicy policy;
+    unsigned nextRead;
+    VolumeStats volStats;
+    std::vector<std::uint64_t> memberReads;
+};
+
+} // namespace afa::raid
+
+#endif // AFA_RAID_VOLUME_HH

@@ -1,0 +1,264 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace afa::sim {
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+void
+Config::set(const std::string &key, const char *value)
+{
+    values[key] = value;
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values[key] = value ? "true" : "false";
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    values[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, std::uint64_t value)
+{
+    values[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, int value)
+{
+    values[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    values[key] = os.str();
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+bool
+Config::erase(const std::string &key)
+{
+    return values.erase(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? dflt : it->second;
+}
+
+namespace {
+
+bool
+parseBool(const std::string &raw, const std::string &key, bool &out)
+{
+    std::string v = raw;
+    std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+    if (v == "true" || v == "1" || v == "yes" || v == "on") {
+        out = true;
+        return true;
+    }
+    if (v == "false" || v == "0" || v == "no" || v == "off") {
+        out = false;
+        return true;
+    }
+    fatal("config key '%s': '%s' is not a boolean",
+          key.c_str(), raw.c_str());
+}
+
+bool
+parseInt(const std::string &raw, std::int64_t &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(raw.c_str(), &end, 0);
+    if (errno != 0 || end == raw.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &raw, double &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(raw.c_str(), &end);
+    if (errno != 0 || end == raw.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+Config::getBool(const std::string &key, bool dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    bool out = dflt;
+    parseBool(it->second, key, out);
+    return out;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    std::int64_t out;
+    if (!parseInt(it->second, out))
+        fatal("config key '%s': '%s' is not an integer",
+              key.c_str(), it->second.c_str());
+    return out;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    std::int64_t out;
+    if (!parseInt(it->second, out) || out < 0)
+        fatal("config key '%s': '%s' is not a non-negative integer",
+              key.c_str(), it->second.c_str());
+    return static_cast<std::uint64_t>(out);
+}
+
+double
+Config::getDouble(const std::string &key, double dflt) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return dflt;
+    double out;
+    if (!parseDouble(it->second, out))
+        fatal("config key '%s': '%s' is not a number",
+              key.c_str(), it->second.c_str());
+    return out;
+}
+
+std::string
+Config::requireString(const std::string &key) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        fatal("missing required config key '%s'", key.c_str());
+    return it->second;
+}
+
+std::int64_t
+Config::requireInt(const std::string &key) const
+{
+    std::int64_t out;
+    std::string raw = requireString(key);
+    if (!parseInt(raw, out))
+        fatal("config key '%s': '%s' is not an integer",
+              key.c_str(), raw.c_str());
+    return out;
+}
+
+double
+Config::requireDouble(const std::string &key) const
+{
+    double out;
+    std::string raw = requireString(key);
+    if (!parseDouble(raw, out))
+        fatal("config key '%s': '%s' is not a number",
+              key.c_str(), raw.c_str());
+    return out;
+}
+
+std::vector<std::string>
+Config::parseArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> positional;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string key, value;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            key = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else {
+            key = body;
+            // "--key value" when the next token is not an option;
+            // otherwise a bare flag.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        std::replace(key.begin(), key.end(), '-', '_');
+        if (key.empty())
+            fatal("malformed option '%s'", arg.c_str());
+        values[key] = value;
+    }
+    return positional;
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &[k, v] : other.values)
+        values[k] = v;
+}
+
+std::vector<std::string>
+Config::keysWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (auto it = values.lower_bound(prefix); it != values.end(); ++it) {
+        if (it->first.rfind(prefix, 0) != 0)
+            break;
+        out.push_back(it->first);
+    }
+    return out;
+}
+
+std::string
+Config::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[k, v] : values)
+        os << k << " = " << v << "\n";
+    return os.str();
+}
+
+} // namespace afa::sim

@@ -1,0 +1,141 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace afa::sim {
+
+EventQueue::EventQueue()
+    : nextSeq(0), numExecuted(0), numPending(0)
+{
+    slab.reserve(1024);
+    heap.reserve(1024);
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (!freeSlots.empty()) {
+        std::uint32_t slot = freeSlots.back();
+        freeSlots.pop_back();
+        return slot;
+    }
+    slab.emplace_back();
+    return static_cast<std::uint32_t>(slab.size() - 1);
+}
+
+EventHandle
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    if (!fn)
+        panic("EventQueue::schedule: null callback");
+    std::uint32_t slot = allocSlot();
+    Record &rec = slab[slot];
+    rec.fn = std::move(fn);
+    rec.scheduled = true;
+    heap.push_back(HeapEntry{when, nextSeq++, slot, rec.gen});
+    std::push_heap(heap.begin(), heap.end(), HeapCompare{});
+    ++numPending;
+    return EventHandle{slot, rec.gen};
+}
+
+bool
+EventQueue::cancel(EventHandle handle)
+{
+    if (!handle.valid() || handle.slot >= slab.size())
+        return false;
+    Record &rec = slab[handle.slot];
+    if (!rec.scheduled || rec.gen != handle.gen)
+        return false;
+    // Lazy deletion: bump the generation so the heap entry is stale;
+    // the slot is recycled when the heap entry surfaces.
+    rec.scheduled = false;
+    rec.fn = nullptr;
+    ++rec.gen;
+    freeSlots.push_back(handle.slot);
+    --numPending;
+    return true;
+}
+
+bool
+EventQueue::pending(EventHandle handle) const
+{
+    if (!handle.valid() || handle.slot >= slab.size())
+        return false;
+    const Record &rec = slab[handle.slot];
+    return rec.scheduled && rec.gen == handle.gen;
+}
+
+void
+EventQueue::skimStale()
+{
+    while (!heap.empty()) {
+        const HeapEntry &top = heap.front();
+        const Record &rec = slab[top.slot];
+        if (rec.scheduled && rec.gen == top.gen)
+            return; // live
+        std::pop_heap(heap.begin(), heap.end(), HeapCompare{});
+        heap.pop_back();
+    }
+}
+
+Tick
+EventQueue::nextTime()
+{
+    if (numPending == 0)
+        return kMaxTick;
+    skimStale();
+    return heap.empty() ? kMaxTick : heap.front().when;
+}
+
+bool
+EventQueue::popNext(Tick &when_out, EventFn &fn_out)
+{
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), HeapCompare{});
+        HeapEntry entry = heap.back();
+        heap.pop_back();
+        Record &rec = slab[entry.slot];
+        if (!rec.scheduled || rec.gen != entry.gen)
+            continue; // stale: cancelled earlier
+        fn_out = std::move(rec.fn);
+        rec.fn = nullptr;
+        rec.scheduled = false;
+        ++rec.gen;
+        freeSlots.push_back(entry.slot);
+        --numPending;
+        ++numExecuted;
+        when_out = entry.when;
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::runNext(Tick &now_out)
+{
+    EventFn fn;
+    if (!popNext(now_out, fn))
+        return false;
+    fn();
+    return true;
+}
+
+void
+EventQueue::clear()
+{
+    for (auto &entry : heap) {
+        Record &rec = slab[entry.slot];
+        if (rec.scheduled && rec.gen == entry.gen) {
+            rec.scheduled = false;
+            rec.fn = nullptr;
+            ++rec.gen;
+            freeSlots.push_back(entry.slot);
+        }
+    }
+    heap.clear();
+    numPending = 0;
+}
+
+} // namespace afa::sim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are closures scheduled at an absolute tick. Events scheduled
+ * for the same tick execute in scheduling order (FIFO-stable), which
+ * keeps simulations deterministic. Scheduling returns an EventHandle
+ * that can be used to cancel the event before it fires; handles are
+ * generation-checked so a stale handle can never cancel a recycled
+ * slot.
+ */
+
+#ifndef AFA_SIM_EVENT_QUEUE_HH
+#define AFA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace afa::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Opaque reference to a scheduled event.
+ *
+ * A default-constructed handle is "null" and valid to cancel (a no-op).
+ */
+struct EventHandle
+{
+    std::uint32_t slot = kNullSlot;
+    std::uint32_t gen = 0;
+
+    static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+
+    /** True when this handle refers to some (possibly past) event. */
+    bool valid() const { return slot != kNullSlot; }
+
+    bool operator==(const EventHandle &other) const = default;
+};
+
+/**
+ * Min-heap of timed events with FIFO tie-breaking and O(1) handle
+ * cancellation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue();
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @return handle usable with cancel().
+     */
+    EventHandle schedule(Tick when, EventFn fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @retval true the event was pending and is now cancelled.
+     * @retval false the event already fired, was already cancelled,
+     *         or the handle is null.
+     */
+    bool cancel(EventHandle handle);
+
+    /** True if the given handle still refers to a pending event. */
+    bool pending(EventHandle handle) const;
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return numPending; }
+
+    /** True when no events are pending. */
+    bool empty() const { return numPending == 0; }
+
+    /**
+     * Time of the earliest pending event; kMaxTick when empty.
+     * Discards stale (cancelled) heap entries as a side effect, so the
+     * call is amortised O(log n).
+     */
+    Tick nextTime();
+
+    /**
+     * Pop and run the earliest pending event.
+     * @param now_out receives the event's scheduled time.
+     * @retval false when the queue was empty.
+     */
+    bool runNext(Tick &now_out);
+
+    /**
+     * Pop the earliest pending event without executing it. The caller
+     * (the Simulator) advances its clock to @p when_out and then
+     * invokes @p fn_out, so callbacks observe the correct time.
+     * @retval false when the queue was empty.
+     */
+    bool popNext(Tick &when_out, EventFn &fn_out);
+
+    /** Total events executed since construction. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /** Drop every pending event. */
+    void clear();
+
+  private:
+    struct Record
+    {
+        EventFn fn;
+        std::uint32_t gen = 0;
+        bool scheduled = false;
+    };
+
+    struct HeapEntry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
+
+    struct HeapCompare
+    {
+        bool
+        operator()(const HeapEntry &a, const HeapEntry &b) const
+        {
+            // std::push_heap builds a max-heap; invert for min-heap
+            // ordered by (when, seq).
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::vector<Record> slab;
+    std::vector<std::uint32_t> freeSlots;
+    std::vector<HeapEntry> heap;
+    std::uint64_t nextSeq;
+    std::uint64_t numExecuted;
+    std::size_t numPending;
+
+    std::uint32_t allocSlot();
+
+    /** Pop cancelled entries off the heap top. */
+    void skimStale();
+};
+
+} // namespace afa::sim
+
+#endif // AFA_SIM_EVENT_QUEUE_HH

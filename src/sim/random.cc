@@ -1,0 +1,174 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace afa::sim {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+hashTag(std::string_view tag)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : tag) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    // Finalize with one splitmix round to spread low-entropy tags.
+    return splitmix64(h);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+    : _seed(seed), cachedNormal(0.0), hasCachedNormal(false)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+Rng
+Rng::fork(std::string_view tag) const
+{
+    return Rng(_seed ^ hashTag(tag));
+}
+
+Rng
+Rng::fork(std::uint64_t tag) const
+{
+    std::uint64_t t = tag + 0x1234567890abcdefULL;
+    return Rng(_seed ^ splitmix64(t));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[0] + s[3], 23) + s[0];
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("uniformInt: lo %llu > hi %llu",
+              (unsigned long long)lo, (unsigned long long)hi);
+    std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % span);
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit && limit != 0);
+    return lo + (v % span);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal) {
+        hasCachedNormal = false;
+        return cachedNormal;
+    }
+    // Box-Muller transform.
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cachedNormal = r * std::sin(theta);
+    hasCachedNormal = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double median, double sigma)
+{
+    if (median <= 0.0)
+        panic("lognormal: median must be positive, got %f", median);
+    return median * std::exp(sigma * normal());
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        panic("exponential: mean must be positive, got %f", mean);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    if (xm <= 0.0 || alpha <= 0.0)
+        panic("pareto: xm and alpha must be positive (%f, %f)", xm, alpha);
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+} // namespace afa::sim

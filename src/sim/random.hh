@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Every source of randomness in AFASim flows from a seeded root Rng.
+ * Components obtain independent streams via fork(), which derives a new
+ * generator deterministically from the parent seed and a stream tag.
+ * This keeps whole-system experiments reproducible from a single
+ * --seed while letting components draw independently.
+ *
+ * The generator is xoshiro256++ (public domain, Blackman & Vigna),
+ * seeded through splitmix64.
+ */
+
+#ifndef AFA_SIM_RANDOM_HH
+#define AFA_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace afa::sim {
+
+/** splitmix64 step; used for seeding and hash mixing. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Mix a string tag into a 64-bit value (FNV-1a based). */
+std::uint64_t hashTag(std::string_view tag);
+
+/**
+ * A deterministic pseudo-random generator with the distribution
+ * helpers the latency models need.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Derive an independent child stream tagged by @p tag. */
+    Rng fork(std::string_view tag) const;
+
+    /** Derive an independent child stream tagged by an index. */
+    Rng fork(std::uint64_t tag) const;
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p);
+
+    /** Standard normal deviate (Box-Muller with caching). */
+    double normal();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal deviate parameterised by its *median* and the sigma
+     * of the underlying normal. Median parameterisation is convenient
+     * for latency models: median is the typical value, sigma the
+     * relative spread.
+     */
+    double lognormal(double median, double sigma);
+
+    /** Exponential deviate with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Pareto (type I) deviate: minimum @p xm, shape @p alpha.
+     * Heavy-tailed; used for rare firmware hiccups.
+     */
+    double pareto(double xm, double alpha);
+
+    /** The seed this generator was constructed with. */
+    std::uint64_t seed() const { return _seed; }
+
+  private:
+    std::uint64_t _seed;
+    std::uint64_t s[4];
+    double cachedNormal;
+    bool hasCachedNormal;
+};
+
+} // namespace afa::sim
+
+#endif // AFA_SIM_RANDOM_HH

@@ -1,0 +1,74 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace afa::sim {
+
+Simulator::Simulator(std::uint64_t seed)
+    : currentTick(0), stopRequested(false), rootRng(seed)
+{
+}
+
+EventHandle
+Simulator::scheduleAt(Tick when, EventFn fn)
+{
+    if (when < currentTick)
+        panic("scheduleAt: time %llu is in the past (now %llu)",
+              (unsigned long long)when, (unsigned long long)currentTick);
+    return events.schedule(when, std::move(fn));
+}
+
+EventHandle
+Simulator::scheduleAfter(Tick delay, EventFn fn)
+{
+    if (delay > kMaxTick - currentTick)
+        panic("scheduleAfter: delay overflows the clock");
+    return events.schedule(currentTick + delay, std::move(fn));
+}
+
+std::uint64_t
+Simulator::run(Tick until)
+{
+    std::uint64_t executed = 0;
+    stopRequested = false;
+    while (!stopRequested) {
+        Tick next = events.nextTime();
+        if (next == kMaxTick)
+            break; // drained
+        if (next > until) {
+            // Never move the clock backwards when the bound is in
+            // the past.
+            currentTick = std::max(currentTick, until);
+            break;
+        }
+        Tick when = 0;
+        EventFn fn;
+        if (!events.popNext(when, fn))
+            break;
+        currentTick = when;
+        fn();
+        ++executed;
+    }
+    return executed;
+}
+
+std::uint64_t
+Simulator::runSteps(std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    stopRequested = false;
+    while (executed < max_events && !stopRequested) {
+        Tick when = 0;
+        EventFn fn;
+        if (!events.popNext(when, fn))
+            break;
+        currentTick = when;
+        fn();
+        ++executed;
+    }
+    return executed;
+}
+
+} // namespace afa::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Simulator owns simulated time, the event queue, and the root
+ * random stream. All SimObjects hold a reference to one Simulator.
+ */
+
+#ifndef AFA_SIM_SIMULATOR_HH
+#define AFA_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace afa::sim {
+
+/**
+ * Discrete-event simulator: a clock, an event queue, and a root RNG.
+ */
+class Simulator
+{
+  public:
+    /** Construct with the root random seed for this simulation. */
+    explicit Simulator(std::uint64_t seed = 1);
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventHandle scheduleAt(Tick when, EventFn fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventHandle scheduleAfter(Tick delay, EventFn fn);
+
+    /** Cancel a pending event; see EventQueue::cancel. */
+    bool cancel(EventHandle handle) { return events.cancel(handle); }
+
+    /** True if @p handle refers to a pending event. */
+    bool pending(EventHandle handle) const
+    {
+        return events.pending(handle);
+    }
+
+    /**
+     * Run until the queue drains or @p until is reached.
+     *
+     * Events scheduled exactly at @p until do execute; the clock never
+     * advances past @p until.
+     *
+     * @return number of events executed by this call.
+     */
+    std::uint64_t run(Tick until = kMaxTick);
+
+    /**
+     * Run at most @p max_events events (for debugging/stepping).
+     * @return number executed.
+     */
+    std::uint64_t runSteps(std::uint64_t max_events);
+
+    /** Request that run() return after the current event completes. */
+    void requestStop() { stopRequested = true; }
+
+    /** True while a stop request is outstanding. */
+    bool stopping() const { return stopRequested; }
+
+    /** Pending event count. */
+    std::size_t pendingEvents() const { return events.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return events.executed(); }
+
+    /** The root random stream (fork children from this). */
+    Rng &rng() { return rootRng; }
+
+    /** The seed the simulation was constructed with. */
+    std::uint64_t seed() const { return rootRng.seed(); }
+
+  private:
+    EventQueue events;
+    Tick currentTick;
+    bool stopRequested;
+    Rng rootRng;
+};
+
+} // namespace afa::sim
+
+#endif // AFA_SIM_SIMULATOR_HH

@@ -1,0 +1,77 @@
+#include "sim/trace.hh"
+
+namespace afa::sim {
+
+void
+Tracer::enable(const std::string &category)
+{
+    enabledCategories.insert(category);
+}
+
+void
+Tracer::disable(const std::string &category)
+{
+    enabledCategories.erase(category);
+}
+
+bool
+Tracer::matches(const std::string &pattern, const std::string &category)
+{
+    if (pattern == category)
+        return true;
+    // Prefix match at a dot boundary: "irq" matches "irq.balance".
+    if (category.size() > pattern.size() &&
+        category.compare(0, pattern.size(), pattern) == 0 &&
+        category[pattern.size()] == '.')
+        return true;
+    return false;
+}
+
+bool
+Tracer::enabled(const std::string &category) const
+{
+    if (allEnabled)
+        return true;
+    for (const auto &pattern : enabledCategories) {
+        if (matches(pattern, category))
+            return true;
+    }
+    return false;
+}
+
+void
+Tracer::record(Tick when, const std::string &category,
+               std::string message)
+{
+    if (!enabled(category))
+        return;
+    if (echoFile) {
+        std::fprintf(echoFile, "[%12.3f us] %-16s %s\n",
+                     toUsec(when), category.c_str(), message.c_str());
+    }
+    if (recordsBuf.size() >= maxRecords) {
+        recordsBuf.pop_front();
+        ++numDropped;
+    }
+    recordsBuf.push_back(TraceRecord{when, category, std::move(message)});
+}
+
+std::vector<TraceRecord>
+Tracer::filtered(const std::string &category) const
+{
+    std::vector<TraceRecord> out;
+    for (const auto &rec : recordsBuf) {
+        if (matches(category, rec.category))
+            out.push_back(rec);
+    }
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    recordsBuf.clear();
+    numDropped = 0;
+}
+
+} // namespace afa::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Event tracing, the simulator's analogue of the paper's LTTng usage.
+ *
+ * Components emit trace records into named categories ("sched",
+ * "irq", "nvme.smart", ...). A Tracer collects records when the
+ * category is enabled; tests and the ssd_profiler example use it to
+ * attribute latency to scheduler and IRQ activity, exactly the way the
+ * paper used LTTng to find misplaced IRQ handlers.
+ */
+
+#ifndef AFA_SIM_TRACE_HH
+#define AFA_SIM_TRACE_HH
+
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace afa::sim {
+
+/** One trace record. */
+struct TraceRecord
+{
+    Tick when;
+    std::string category;
+    std::string message;
+};
+
+/**
+ * Collects trace records for enabled categories.
+ *
+ * Category matching is by exact name or dotted-prefix: enabling "irq"
+ * also captures "irq.balance". Records are kept in a bounded deque;
+ * the oldest records are dropped past the capacity.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(std::size_t capacity = 1 << 20)
+        : maxRecords(capacity), echoFile(nullptr), numDropped(0)
+    {
+    }
+
+    /** Enable a category (and its dotted children). */
+    void enable(const std::string &category);
+
+    /** Disable a previously enabled category. */
+    void disable(const std::string &category);
+
+    /** Enable every category. */
+    void enableAll() { allEnabled = true; }
+
+    /** True when records for @p category would be kept. */
+    bool enabled(const std::string &category) const;
+
+    /** Emit a record (no-op when the category is disabled). */
+    void record(Tick when, const std::string &category,
+                std::string message);
+
+    /** Also echo records to a FILE* as they arrive (nullptr to stop). */
+    void echoTo(std::FILE *file) { echoFile = file; }
+
+    /** All retained records, oldest first. */
+    const std::deque<TraceRecord> &records() const { return recordsBuf; }
+
+    /** Records in @p category (prefix-matched), oldest first. */
+    std::vector<TraceRecord> filtered(const std::string &category) const;
+
+    /** Count of records dropped due to the capacity bound. */
+    std::uint64_t dropped() const { return numDropped; }
+
+    /** Discard all retained records. */
+    void clear();
+
+  private:
+    static bool matches(const std::string &pattern,
+                        const std::string &category);
+
+    std::set<std::string> enabledCategories;
+    bool allEnabled = false;
+    std::deque<TraceRecord> recordsBuf;
+    std::size_t maxRecords;
+    std::FILE *echoFile;
+    std::uint64_t numDropped;
+};
+
+} // namespace afa::sim
+
+#endif // AFA_SIM_TRACE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks (integer nanoseconds) and
+ * convenience duration constructors.
+ */
+
+#ifndef AFA_SIM_TYPES_HH
+#define AFA_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace afa::sim {
+
+/** Simulated time in integer nanoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value that never arrives; used as "no deadline". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** One nanosecond expressed in ticks. */
+constexpr Tick kNsec = 1;
+/** One microsecond expressed in ticks. */
+constexpr Tick kUsec = 1000 * kNsec;
+/** One millisecond expressed in ticks. */
+constexpr Tick kMsec = 1000 * kUsec;
+/** One second expressed in ticks. */
+constexpr Tick kSec = 1000 * kMsec;
+
+/** Construct a tick count from nanoseconds. */
+constexpr Tick nsec(double n) { return static_cast<Tick>(n * kNsec); }
+/** Construct a tick count from microseconds. */
+constexpr Tick usec(double n) { return static_cast<Tick>(n * kUsec); }
+/** Construct a tick count from milliseconds. */
+constexpr Tick msec(double n) { return static_cast<Tick>(n * kMsec); }
+/** Construct a tick count from seconds. */
+constexpr Tick sec(double n) { return static_cast<Tick>(n * kSec); }
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double toUsec(Tick t) { return static_cast<double>(t) / kUsec; }
+/** Convert ticks to (fractional) milliseconds. */
+constexpr double toMsec(Tick t) { return static_cast<double>(t) / kMsec; }
+/** Convert ticks to (fractional) seconds. */
+constexpr double toSec(Tick t) { return static_cast<double>(t) / kSec; }
+
+} // namespace afa::sim
+
+#endif // AFA_SIM_TYPES_HH

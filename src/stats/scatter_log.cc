@@ -1,0 +1,87 @@
+#include "stats/scatter_log.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace afa::stats {
+
+void
+ScatterLog::record(Tick when, Tick latency, std::uint32_t device)
+{
+    if (buf.size() >= maxSamples) {
+        ++numDropped;
+        ++nextIndex;
+        return;
+    }
+    buf.push_back(Sample{nextIndex++, when, latency, device});
+}
+
+std::vector<Sample>
+ScatterLog::outliers(Tick threshold) const
+{
+    std::vector<Sample> out;
+    for (const auto &s : buf)
+        if (s.latency > threshold)
+            out.push_back(s);
+    return out;
+}
+
+std::vector<SpikeCluster>
+ScatterLog::clusters(Tick threshold, Tick gap) const
+{
+    std::vector<SpikeCluster> out;
+    for (const auto &s : buf) {
+        if (s.latency <= threshold)
+            continue;
+        if (!out.empty() && s.when - out.back().end <= gap) {
+            SpikeCluster &c = out.back();
+            c.end = s.when;
+            c.samples += 1;
+            c.peakLatency = std::max(c.peakLatency, s.latency);
+        } else {
+            out.push_back(
+                SpikeCluster{s.when, s.when, 1, s.latency, s.index});
+        }
+    }
+    return out;
+}
+
+Tick
+ScatterLog::clusterPeriod(Tick threshold, Tick gap) const
+{
+    auto cs = clusters(threshold, gap);
+    if (cs.size() < 2)
+        return 0;
+    std::vector<Tick> intervals;
+    intervals.reserve(cs.size() - 1);
+    for (std::size_t i = 1; i < cs.size(); ++i)
+        intervals.push_back(cs[i].start - cs[i - 1].start);
+    std::sort(intervals.begin(), intervals.end());
+    return intervals[intervals.size() / 2];
+}
+
+std::string
+ScatterLog::toText(std::size_t stride) const
+{
+    if (stride == 0)
+        afa::sim::fatal("ScatterLog::toText: stride must be > 0");
+    std::ostringstream os;
+    for (std::size_t i = 0; i < buf.size(); i += stride) {
+        const Sample &s = buf[i];
+        os << s.index << " " << afa::sim::toUsec(s.latency) << " nvme"
+           << s.device << "\n";
+    }
+    return os.str();
+}
+
+void
+ScatterLog::clear()
+{
+    buf.clear();
+    nextIndex = 0;
+    numDropped = 0;
+}
+
+} // namespace afa::stats

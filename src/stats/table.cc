@@ -1,0 +1,122 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace afa::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    if (header.empty())
+        afa::sim::fatal("Table: at least one column required");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(header.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    return afa::sim::strfmt("%.*f", precision, value);
+}
+
+std::string
+Table::num(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+bool
+Table::numericLooking(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != 'e' && c != 'x')
+            return false;
+    }
+    return true;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            const std::string &cell = row[c];
+            bool right = numericLooking(cell);
+            std::size_t pad = width[c] - cell.size();
+            if (right)
+                os << std::string(pad, ' ') << cell;
+            else
+                os << cell << std::string(pad, ' ');
+        }
+        os << "\n";
+    };
+    emit(header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : body)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            const std::string &cell = row[c];
+            if (cell.find_first_of(",\"\n") != std::string::npos) {
+                os << '"';
+                for (char ch : cell) {
+                    if (ch == '"')
+                        os << "\"\"";
+                    else
+                        os << ch;
+                }
+                os << '"';
+            } else {
+                os << cell;
+            }
+        }
+        os << "\n";
+    };
+    emit(header);
+    for (const auto &row : body)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::string s = toString();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+} // namespace afa::stats

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table and CSV writers for the bench harnesses, which print the
+ * same rows/series the paper's figures plot.
+ */
+
+#ifndef AFA_STATS_TABLE_HH
+#define AFA_STATS_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace afa::stats {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Numeric-looking cells are right-aligned, text left-aligned. Rows may
+ * be added cell-wise or whole.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a full row (padded/truncated to the column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision into a cell string. */
+    static std::string num(double value, int precision = 1);
+
+    /** Format an integer cell. */
+    static std::string num(std::uint64_t value);
+
+    /** Render the table with a header rule. */
+    std::string toString() const;
+
+    /** Render as CSV (RFC-ish: quotes around cells with commas). */
+    std::string toCsv() const;
+
+    /** Print to a FILE* (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    std::size_t rows() const { return body.size(); }
+    std::size_t columns() const { return header.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+
+    static bool numericLooking(const std::string &cell);
+};
+
+} // namespace afa::stats
+
+#endif // AFA_STATS_TABLE_HH

@@ -1,0 +1,203 @@
+#include "workload/fio_thread.hh"
+
+#include "sim/logging.hh"
+
+namespace afa::workload {
+
+using afa::sim::EventFn;
+using afa::sim::Tick;
+
+FioThread::FioThread(afa::sim::Simulator &simulator,
+                     std::string thread_name,
+                     afa::host::Scheduler &scheduler, IoEngine &io_engine,
+                     unsigned device, const FioJob &job)
+    : SimObject(simulator, std::move(thread_name)), sched(scheduler),
+      engine(io_engine), dev(device), fioJob(job), scatter(nullptr),
+      endTime(0), started(false), stopped(true), inflight(0),
+      taskBusy(false), seqPointer(0)
+{
+    afa::host::TaskParams tp;
+    tp.name = name();
+    tp.affinity = fioJob.cpusAllowed;
+    if (fioJob.rtPriority > 0) {
+        tp.klass = afa::host::SchedClass::RealTime;
+        tp.rtPriority = fioJob.rtPriority;
+    }
+    task = sched.createTask(tp);
+
+    std::uint64_t capacity = engine.deviceBlocks(dev);
+    rangeStart = fioJob.offsetBlocks;
+    rangeBlocks = fioJob.sizeBlocks ? fioJob.sizeBlocks
+                                    : capacity - rangeStart;
+    if (rangeStart >= capacity || rangeStart + rangeBlocks > capacity)
+        afa::sim::fatal("%s: job range [%llu, +%llu) exceeds device "
+                        "capacity %llu blocks",
+                        name().c_str(),
+                        (unsigned long long)rangeStart,
+                        (unsigned long long)rangeBlocks,
+                        (unsigned long long)capacity);
+    if (rangeBlocks * 4096 < fioJob.blockSize)
+        afa::sim::fatal("%s: job range smaller than one block",
+                        name().c_str());
+    if (fioJob.polling && fioJob.ioDepth != 1)
+        afa::sim::fatal("%s: polling requires iodepth=1",
+                        name().c_str());
+}
+
+void
+FioThread::start(Tick start_at)
+{
+    if (started)
+        afa::sim::panic("%s: started twice", name().c_str());
+    started = true;
+    at(std::max(start_at, now()), [this] {
+        stopped = false;
+        endTime = now() + fioJob.runtime;
+        maybeSubmit();
+    });
+}
+
+void
+FioThread::enqueueWork(Tick cost, EventFn then)
+{
+    workQueue.push_back(WorkItem{cost, std::move(then)});
+    pump();
+}
+
+void
+FioThread::pump()
+{
+    if (taskBusy || workQueue.empty())
+        return;
+    WorkItem item = std::move(workQueue.front());
+    workQueue.pop_front();
+    taskBusy = true;
+    sched.runFor(task, item.cost,
+                 [this, then = std::move(item.then)]() mutable {
+                     taskBusy = false;
+                     if (then)
+                         then();
+                     pump();
+                 });
+}
+
+void
+FioThread::maybeSubmit()
+{
+    if (stopped)
+        return;
+    if (now() >= endTime) {
+        stopped = true;
+        return;
+    }
+    while (inflight < fioJob.ioDepth) {
+        ++inflight;
+        enqueueWork(fioJob.submitCost, [this] { issueOne(); });
+    }
+}
+
+IoRequest
+FioThread::nextRequest()
+{
+    IoRequest req;
+    req.device = dev;
+    req.bytes = fioJob.blockSize;
+    const std::uint64_t blocks_per_io = fioJob.blockSize / 4096;
+    const std::uint64_t slots = rangeBlocks / blocks_per_io;
+
+    bool is_read = true;
+    switch (fioJob.rw) {
+      case RwMode::Read:
+      case RwMode::Write:
+        req.lba = rangeStart + seqPointer * blocks_per_io;
+        seqPointer = (seqPointer + 1) % slots;
+        is_read = fioJob.rw == RwMode::Read;
+        break;
+      case RwMode::RandRead:
+      case RwMode::RandWrite:
+        req.lba = rangeStart +
+            rng().uniformInt(0, slots - 1) * blocks_per_io;
+        is_read = fioJob.rw == RwMode::RandRead;
+        break;
+      case RwMode::RandRw:
+        req.lba = rangeStart +
+            rng().uniformInt(0, slots - 1) * blocks_per_io;
+        is_read = rng().chance(fioJob.rwMixRead / 100.0);
+        break;
+    }
+    req.op = is_read ? afa::nvme::Op::Read : afa::nvme::Op::Write;
+    return req;
+}
+
+void
+FioThread::issueOne()
+{
+    IoRequest req = nextRequest();
+    ++threadStats.submitted;
+    if (req.op == afa::nvme::Op::Write)
+        threadStats.writeBytes += req.bytes;
+    else
+        threadStats.readBytes += req.bytes;
+    Tick submit_tick = now();
+    unsigned cpu = sched.taskCpu(task);
+    if (fioJob.polling) {
+        pollCompleteFlag = false;
+        engine.submit(cpu, req,
+                      [this](unsigned) { pollCompleteFlag = true; });
+        pollStep(submit_tick);
+        return;
+    }
+    engine.submit(cpu, req,
+                  [this, submit_tick](unsigned handler_cpu) {
+                      onDeviceComplete(submit_tick, handler_cpu);
+                  });
+}
+
+void
+FioThread::pollStep(Tick submit_tick)
+{
+    enqueueWork(fioJob.pollQuantum, [this, submit_tick] {
+        if (!pollCompleteFlag) {
+            pollStep(submit_tick);
+            return;
+        }
+        finishIo(submit_tick);
+    });
+}
+
+void
+FioThread::onDeviceComplete(Tick submit_tick, unsigned handler_cpu)
+{
+    // Completion handled on a remote CPU needs an IPI to wake us.
+    Tick ipi = 0;
+    if (handler_cpu != sched.taskCpu(task))
+        ipi = sched.config().irq.ipiCost;
+    after(ipi, [this, submit_tick] {
+        enqueueWork(fioJob.reapCost,
+                    [this, submit_tick] { finishIo(submit_tick); });
+    });
+}
+
+void
+FioThread::finishIo(Tick submit_tick)
+{
+    Tick latency = now() - submit_tick;
+    hist.record(latency);
+    if (scatter)
+        scatter->record(now(), latency,
+                        static_cast<std::uint32_t>(dev));
+    ++threadStats.completed;
+    if (inflight == 0)
+        afa::sim::panic("%s: inflight underflow", name().c_str());
+    --inflight;
+    if (now() >= endTime) {
+        stopped = true;
+        return;
+    }
+    if (fioJob.thinkTime > 0)
+        after(fioJob.thinkTime, [this] { maybeSubmit(); });
+    else
+        maybeSubmit();
+}
+
+} // namespace afa::workload

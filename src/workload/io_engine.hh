@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The asynchronous I/O interface a FIO thread drives (the libaio
+ * analogue). The production implementation is the NVMe driver glue in
+ * afa::core, which routes submissions through the PCIe fabric to the
+ * SSD controllers and completions back through the IRQ subsystem.
+ */
+
+#ifndef AFA_WORKLOAD_IO_ENGINE_HH
+#define AFA_WORKLOAD_IO_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "nvme/command.hh"
+#include "sim/types.hh"
+
+namespace afa::workload {
+
+/** One async request. */
+struct IoRequest
+{
+    unsigned device = 0;
+    afa::nvme::Op op = afa::nvme::Op::Read;
+    std::uint64_t lba = 0;
+    std::uint32_t bytes = 4096;
+};
+
+/**
+ * Async I/O engine.
+ *
+ * submit() returns immediately; @p on_device_complete fires in
+ * interrupt context on the CPU that handled the completion interrupt
+ * (possibly a different CPU from the submitter -- the paper's
+ * affinity problem). Waking the submitting thread, IPI costs and the
+ * reap work are the caller's business.
+ */
+class IoEngine
+{
+  public:
+    using CompleteFn = std::function<void(unsigned handler_cpu)>;
+
+    virtual ~IoEngine() = default;
+
+    /** Submit from @p cpu (the submitting thread's current CPU). */
+    virtual void submit(unsigned cpu, const IoRequest &request,
+                        CompleteFn on_device_complete) = 0;
+
+    /** Logical capacity of a device in 4 KiB blocks. */
+    virtual std::uint64_t deviceBlocks(unsigned device) const = 0;
+};
+
+} // namespace afa::workload
+
+#endif // AFA_WORKLOAD_IO_ENGINE_HH

@@ -1,0 +1,148 @@
+#include "workload/pts.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "sim/logging.hh"
+#include "workload/fio_thread.hh"
+
+namespace afa::workload {
+
+double
+bestFitSlope(const double *values, std::size_t count)
+{
+    if (count < 2)
+        return 0.0;
+    double n = static_cast<double>(count);
+    double sum_x = 0.0, sum_y = 0.0, sum_xy = 0.0, sum_xx = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        double x = static_cast<double>(i);
+        sum_x += x;
+        sum_y += values[i];
+        sum_xy += x * values[i];
+        sum_xx += x * x;
+    }
+    double denom = n * sum_xx - sum_x * sum_x;
+    if (denom == 0.0)
+        return 0.0;
+    return (n * sum_xy - sum_x * sum_y) / denom;
+}
+
+SteadyStateResult
+detectSteadyState(const std::vector<double> &series,
+                  const SteadyStateParams &params)
+{
+    SteadyStateResult result;
+    if (params.window < 2)
+        afa::sim::fatal("steady state: window must be >= 2");
+    if (series.size() < params.window)
+        return result;
+    for (std::size_t end = params.window; end <= series.size();
+         ++end) {
+        const double *win = series.data() + (end - params.window);
+        double avg = 0.0;
+        for (std::size_t i = 0; i < params.window; ++i)
+            avg += win[i];
+        avg /= static_cast<double>(params.window);
+        if (avg == 0.0)
+            continue;
+        double max_exc = 0.0;
+        for (std::size_t i = 0; i < params.window; ++i)
+            max_exc = std::max(max_exc, std::abs(win[i] - avg));
+        double slope = bestFitSlope(win, params.window);
+        double slope_exc = std::abs(slope) *
+            static_cast<double>(params.window - 1);
+        if (max_exc <= params.excursionBand * avg &&
+            slope_exc <= params.slopeBand * avg) {
+            result.steady = true;
+            result.steadyAtRound = end - 1;
+            result.windowAverage = avg;
+            result.windowSlope = slope;
+            result.maxExcursion = max_exc;
+            return result;
+        }
+        // Remember the most recent window's numbers even if not
+        // steady, for reporting.
+        result.windowAverage = avg;
+        result.windowSlope = slope;
+        result.maxExcursion = max_exc;
+    }
+    return result;
+}
+
+PtsRunner::PtsRunner(afa::sim::Simulator &simulator,
+                     std::string runner_name,
+                     afa::host::Scheduler &scheduler, IoEngine &io_engine,
+                     unsigned target_device, const FioJob &job_per_round,
+                     std::size_t round_count,
+                     const SteadyStateParams &params)
+    : SimObject(simulator, std::move(runner_name)), sched(scheduler),
+      engine(io_engine), device(target_device), roundJob(job_per_round),
+      totalRounds(round_count), ssParams(params), completedRounds(0)
+{
+    if (round_count == 0)
+        afa::sim::fatal("%s: need at least one round", name().c_str());
+}
+
+void
+PtsRunner::start()
+{
+    runRound();
+}
+
+void
+PtsRunner::runRound()
+{
+    FioJob job = roundJob;
+    job.name = afa::sim::strfmt("%s.round%zu", name().c_str(),
+                                completedRounds);
+    currentThread = std::make_unique<FioThread>(
+        sim(), job.name, sched, engine, device, job);
+    currentThread->start(now());
+    pollRound();
+}
+
+void
+PtsRunner::pollRound()
+{
+    after(afa::sim::msec(1), [this] {
+        if (!currentThread->finished()) {
+            pollRound();
+            return;
+        }
+        const auto &hist = currentThread->histogram();
+        PtsRound round;
+        double secs = afa::sim::toSec(roundJob.runtime);
+        round.iops =
+            static_cast<double>(currentThread->stats().completed) /
+            secs;
+        round.meanLatencyUs = hist.mean() / afa::sim::kUsec;
+        round.p999LatencyUs =
+            afa::sim::toUsec(hist.quantile(0.999));
+        results.push_back(round);
+        ++completedRounds;
+        currentThread.reset();
+        if (completedRounds < totalRounds)
+            runRound();
+    });
+}
+
+SteadyStateResult
+PtsRunner::iopsSteadyState() const
+{
+    std::vector<double> series;
+    for (const auto &round : results)
+        series.push_back(round.iops);
+    return detectSteadyState(series, ssParams);
+}
+
+SteadyStateResult
+PtsRunner::latencySteadyState() const
+{
+    std::vector<double> series;
+    for (const auto &round : results)
+        series.push_back(round.meanLatencyUs);
+    return detectSteadyState(series, ssParams);
+}
+
+} // namespace afa::workload

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SNIA SSS PTS-E (Performance Test Specification - Enterprise)
+ * style measurement rounds and steady-state detection.
+ *
+ * The paper's methodology follows PTS-E chapter 9 to "minimize the
+ * systems overhead on I/O latency": measurements are taken in rounds,
+ * and a metric is *steady* once, within a window of consecutive
+ * rounds, (a) the excursion of the values stays within a band around
+ * the window average, and (b) the best-fit slope across the window is
+ * small relative to that average. This module implements exactly that
+ * arithmetic plus a round runner over any IoEngine.
+ */
+
+#ifndef AFA_WORKLOAD_PTS_HH
+#define AFA_WORKLOAD_PTS_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "host/scheduler.hh"
+#include "sim/types.hh"
+#include "workload/fio_job.hh"
+#include "workload/fio_thread.hh"
+#include "workload/io_engine.hh"
+
+namespace afa::workload {
+
+/** Steady-state detection parameters (PTS-E defaults). */
+struct SteadyStateParams
+{
+    /** Rounds in the measurement window. */
+    std::size_t window = 5;
+
+    /** Max data excursion: |y - avg| <= band * avg within window. */
+    double excursionBand = 0.20;
+
+    /** Max slope excursion: |slope| * (window-1) <= band * avg. */
+    double slopeBand = 0.10;
+};
+
+/** Verdict for one metric series. */
+struct SteadyStateResult
+{
+    bool steady = false;
+    /** First round index at which the window qualified. */
+    std::size_t steadyAtRound = 0;
+    double windowAverage = 0.0;
+    double windowSlope = 0.0;
+    double maxExcursion = 0.0;
+};
+
+/**
+ * Evaluate steady state over a metric series (one value per round).
+ * The window examined is the *last* `window` values ending at each
+ * round, scanning forward; the first qualifying window wins.
+ */
+SteadyStateResult detectSteadyState(const std::vector<double> &series,
+                                    const SteadyStateParams &params);
+
+/** Least-squares slope of a series segment (x = 0..n-1). */
+double bestFitSlope(const double *values, std::size_t count);
+
+/** One PTS measurement round's results. */
+struct PtsRound
+{
+    double iops = 0.0;
+    double meanLatencyUs = 0.0;
+    double p999LatencyUs = 0.0;
+};
+
+/**
+ * Runs PTS-style rounds of a job against a device and reports the
+ * per-round metrics plus the steady-state verdicts. The caller owns
+ * the simulator loop: call start(), then sim.run() until finished().
+ */
+class PtsRunner : public afa::sim::SimObject
+{
+  public:
+    PtsRunner(afa::sim::Simulator &simulator, std::string runner_name,
+              afa::host::Scheduler &scheduler, IoEngine &engine,
+              unsigned device, const FioJob &job_per_round,
+              std::size_t rounds,
+              const SteadyStateParams &params = {});
+
+    /** Begin round 1. */
+    void start();
+
+    /** True once every round has completed. */
+    bool finished() const { return completedRounds >= totalRounds; }
+
+    const std::vector<PtsRound> &rounds() const { return results; }
+
+    /** Steady-state verdict for IOPS across the rounds so far. */
+    SteadyStateResult iopsSteadyState() const;
+
+    /** Steady-state verdict for mean latency across the rounds. */
+    SteadyStateResult latencySteadyState() const;
+
+  private:
+    afa::host::Scheduler &sched;
+    IoEngine &engine;
+    unsigned device;
+    FioJob roundJob;
+    std::size_t totalRounds;
+    SteadyStateParams ssParams;
+    std::size_t completedRounds;
+    std::vector<PtsRound> results;
+    std::unique_ptr<FioThread> currentThread;
+
+    void runRound();
+    void pollRound();
+};
+
+} // namespace afa::workload
+
+#endif // AFA_WORKLOAD_PTS_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Integration tests: the experiment runner end to end, and the
+ * paper's qualitative results as invariants -- the tuning ladder
+ * must improve tail latency and convergence in the right order, the
+ * SMART spikes must appear/disappear with firmware, and the geometry
+ * sweep must be insensitive at low utilisation.
+ *
+ * These use a reduced array (fewer SSDs / shorter runs) so the whole
+ * file stays test-suite fast; the bench harnesses run paper scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "sim/logging.hh"
+
+using namespace afa::core;
+using afa::sim::msec;
+using afa::sim::usec;
+
+namespace {
+
+class ExperimentTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    ExperimentParams
+    baseParams(TuningProfile profile)
+    {
+        ExperimentParams p;
+        p.profile = profile;
+        p.ssds = 16;
+        p.runtime = msec(800);
+        p.smartPeriod = msec(300);
+        p.irqBalanceInterval = msec(300);
+        p.seed = 2026;
+        return p;
+    }
+
+    static double
+    maxIdx(const afa::stats::LadderAggregate &agg, std::size_t p)
+    {
+        return agg.meanUs[p];
+    }
+};
+
+TEST_F(ExperimentTest, ProducesPerDeviceSummaries)
+{
+    auto result = ExperimentRunner::run(baseParams(
+        TuningProfile::Default));
+    ASSERT_EQ(result.perDevice.size(), 16u);
+    for (const auto &dev : result.perDevice) {
+        EXPECT_GT(dev.samples, 1000u);
+        EXPECT_GT(dev.meanUs, 20.0);
+        EXPECT_LT(dev.meanUs, 80.0);
+    }
+    EXPECT_GT(result.totalIos, 16u * 1000u);
+    EXPECT_GT(result.aggregateGBps, 0.1);
+    EXPECT_EQ(result.runs, 1u);
+    EXPECT_TRUE(result.bootCmdline.empty());
+}
+
+TEST_F(ExperimentTest, TuningLadderImprovesTailInOrder)
+{
+    const std::size_t kMax = afa::stats::NinesLadder::kPoints - 1;
+    auto def =
+        ExperimentRunner::run(baseParams(TuningProfile::Default));
+    auto chrt = ExperimentRunner::run(baseParams(TuningProfile::Chrt));
+    auto irq = ExperimentRunner::run(
+        baseParams(TuningProfile::IrqAffinity));
+    auto fw = ExperimentRunner::run(
+        baseParams(TuningProfile::ExpFirmware));
+
+    // Fig. 7: chrt removes the millisecond scheduler tail.
+    EXPECT_GT(def.aggregate.maxUs[kMax], 900.0);
+    EXPECT_LT(chrt.aggregate.maxUs[kMax],
+              def.aggregate.maxUs[kMax]);
+    // Fig. 9: with pinned IRQs the max is the SMART stall (~550 us).
+    EXPECT_GT(irq.aggregate.meanUs[kMax], 300.0);
+    EXPECT_LT(irq.aggregate.meanUs[kMax], 700.0);
+    // Fig. 12 bottom: convergence improves monotonically at p99.9.
+    EXPECT_LT(irq.aggregate.stddevUs[2],
+              def.aggregate.stddevUs[2] + 1.0);
+    // Fig. 11: experimental firmware kills the SMART tail.
+    EXPECT_LT(fw.aggregate.meanUs[kMax],
+              irq.aggregate.meanUs[kMax] / 3.0);
+    EXPECT_LT(fw.aggregate.maxUs[kMax], 150.0);
+}
+
+TEST_F(ExperimentTest, SmartSpikesVisibleInScatter)
+{
+    auto params = baseParams(TuningProfile::IrqAffinity);
+    params.scatterDevices = 8;
+    auto result = ExperimentRunner::run(params);
+    EXPECT_GT(result.scatter.size(), 10000u);
+    auto clusters =
+        result.scatter.clusters(usec(150), msec(20));
+    // 8 devices x ~2-3 SMART windows in 800 ms at a 300 ms period.
+    EXPECT_GT(clusters.size(), 4u);
+}
+
+TEST_F(ExperimentTest, GeometryVariantsAgreeWhenTuned)
+{
+    auto params = baseParams(TuningProfile::IrqAffinity);
+    params.variant = GeometryVariant::FourPerCore;
+    auto four = ExperimentRunner::run(params);
+    params.variant = GeometryVariant::OnePerCore;
+    auto one = ExperimentRunner::run(params);
+    EXPECT_EQ(one.runs, 1u); // 16 SSDs fit one 1-per-core run
+    // Fig. 14: average latency within a microsecond or two.
+    EXPECT_NEAR(four.aggregate.meanUs[0], one.aggregate.meanUs[0],
+                3.0);
+}
+
+TEST_F(ExperimentTest, SingleThreadVariantRunsPerDevice)
+{
+    auto params = baseParams(TuningProfile::IrqAffinity);
+    params.ssds = 4;
+    params.runtime = msec(300);
+    params.variant = GeometryVariant::SingleThread;
+    auto result = ExperimentRunner::run(params);
+    EXPECT_EQ(result.runs, 4u);
+    for (const auto &dev : result.perDevice)
+        EXPECT_GT(dev.samples, 500u);
+}
+
+TEST_F(ExperimentTest, SameSeedSameResult)
+{
+    auto a = ExperimentRunner::run(baseParams(TuningProfile::Chrt));
+    auto b = ExperimentRunner::run(baseParams(TuningProfile::Chrt));
+    ASSERT_EQ(a.perDevice.size(), b.perDevice.size());
+    for (std::size_t i = 0; i < a.perDevice.size(); ++i) {
+        EXPECT_EQ(a.perDevice[i].samples, b.perDevice[i].samples);
+        EXPECT_DOUBLE_EQ(a.perDevice[i].maxUs, b.perDevice[i].maxUs);
+    }
+    EXPECT_EQ(a.totalIos, b.totalIos);
+}
+
+TEST_F(ExperimentTest, DifferentSeedsDiffer)
+{
+    auto a = ExperimentRunner::run(baseParams(TuningProfile::Chrt));
+    auto p = baseParams(TuningProfile::Chrt);
+    p.seed = 9999;
+    auto b = ExperimentRunner::run(p);
+    EXPECT_NE(a.totalIos, b.totalIos);
+}
+
+TEST_F(ExperimentTest, ReportsRenderNonEmpty)
+{
+    auto result =
+        ExperimentRunner::run(baseParams(TuningProfile::Default));
+    EXPECT_GT(perDeviceTable(result).rows(), 0u);
+    EXPECT_EQ(envelopeTable(result).rows(), 7u);
+    EXPECT_FALSE(describeExperiment(result).empty());
+    Geometry geo(afa::host::CpuTopology{}, 16);
+    auto table = geometryTable(
+        geo, {GeometryVariant::FourPerCore,
+              GeometryVariant::SingleThread});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Geometry tests: the exact Fig. 5 CPU-SSD map and the Table II run
+ * decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/geometry.hh"
+#include "sim/logging.hh"
+
+using namespace afa::core;
+using afa::host::CpuTopology;
+
+namespace {
+
+class GeometryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    Geometry geo{CpuTopology{}, 64, 4};
+};
+
+TEST_F(GeometryTest, ReservedCpusMatchPaper)
+{
+    // cpu(0)..cpu(3) and cpu(20)..cpu(23) are reserved.
+    afa::host::CpuSet expect{0, 1, 2, 3, 20, 21, 22, 23};
+    EXPECT_EQ(geo.reservedCpus(), expect);
+}
+
+TEST_F(GeometryTest, FioCpusInFigureOrder)
+{
+    const auto &fio = geo.fioCpus();
+    ASSERT_EQ(fio.size(), 32u);
+    EXPECT_EQ(fio.front(), 4u);
+    EXPECT_EQ(fio[15], 19u);
+    EXPECT_EQ(fio[16], 24u);
+    EXPECT_EQ(fio.back(), 39u);
+}
+
+TEST_F(GeometryTest, Figure5Mapping)
+{
+    // nvme(0) and nvme(32) share cpu(4); nvme(31)/nvme(63) cpu(39).
+    EXPECT_EQ(geo.cpuForDevice(0), 4u);
+    EXPECT_EQ(geo.cpuForDevice(32), 4u);
+    EXPECT_EQ(geo.cpuForDevice(31), 39u);
+    EXPECT_EQ(geo.cpuForDevice(63), 39u);
+    EXPECT_EQ(geo.cpuForDevice(16), 24u);
+}
+
+TEST_F(GeometryTest, IsolationSetIsPaperBootList)
+{
+    auto set = geo.isolationSet();
+    EXPECT_EQ(afa::host::formatCpuList(set), "4-19,24-39");
+}
+
+TEST_F(GeometryTest, TableIIThreadCounts)
+{
+    EXPECT_EQ(geo.threadsPerRun(GeometryVariant::FourPerCore), 64u);
+    EXPECT_EQ(geo.threadsPerRun(GeometryVariant::TwoPerCore), 32u);
+    EXPECT_EQ(geo.threadsPerRun(GeometryVariant::OnePerCore), 16u);
+    EXPECT_EQ(geo.threadsPerRun(GeometryVariant::SingleThread), 1u);
+}
+
+TEST_F(GeometryTest, TableIIRunCounts)
+{
+    EXPECT_EQ(geo.runsFor(GeometryVariant::FourPerCore).size(), 1u);
+    EXPECT_EQ(geo.runsFor(GeometryVariant::TwoPerCore).size(), 2u);
+    EXPECT_EQ(geo.runsFor(GeometryVariant::OnePerCore).size(), 4u);
+    EXPECT_EQ(geo.runsFor(GeometryVariant::SingleThread).size(), 64u);
+}
+
+TEST_F(GeometryTest, RunsCoverAllDevicesDisjointly)
+{
+    for (auto variant :
+         {GeometryVariant::FourPerCore, GeometryVariant::TwoPerCore,
+          GeometryVariant::OnePerCore,
+          GeometryVariant::SingleThread}) {
+        std::set<unsigned> seen;
+        for (const auto &run : geo.runsFor(variant))
+            for (const auto &p : run)
+                EXPECT_TRUE(seen.insert(p.device).second)
+                    << "device duplicated";
+        EXPECT_EQ(seen.size(), 64u);
+    }
+}
+
+TEST_F(GeometryTest, OnePerCoreUsesDistinctPhysicalCores)
+{
+    CpuTopology topo;
+    for (const auto &run : geo.runsFor(GeometryVariant::OnePerCore)) {
+        std::set<unsigned> cores;
+        for (const auto &p : run)
+            EXPECT_TRUE(cores.insert(topo.physicalCoreOf(p.cpu)).second)
+                << "physical core shared in 1-per-core variant";
+    }
+}
+
+TEST_F(GeometryTest, TwoPerCoreUsesEachLogicalOnce)
+{
+    for (const auto &run : geo.runsFor(GeometryVariant::TwoPerCore)) {
+        std::set<unsigned> cpus;
+        for (const auto &p : run)
+            EXPECT_TRUE(cpus.insert(p.cpu).second);
+    }
+}
+
+TEST_F(GeometryTest, FourPerCorePairsDevices32Apart)
+{
+    auto runs = geo.runsFor(GeometryVariant::FourPerCore);
+    ASSERT_EQ(runs.size(), 1u);
+    const auto &run = runs[0];
+    for (const auto &p : run)
+        EXPECT_EQ(p.cpu, geo.cpuForDevice(p.device));
+}
+
+TEST_F(GeometryTest, VariantNames)
+{
+    EXPECT_STREQ(geometryVariantName(GeometryVariant::FourPerCore),
+                 "4-ssds-per-core");
+    EXPECT_STREQ(geometryVariantName(GeometryVariant::SingleThread),
+                 "single-fio-thread");
+}
+
+TEST_F(GeometryTest, SmallerArrays)
+{
+    Geometry g8(CpuTopology{}, 8, 4);
+    EXPECT_EQ(g8.runsFor(GeometryVariant::FourPerCore).size(), 1u);
+    EXPECT_EQ(g8.runsFor(GeometryVariant::SingleThread).size(), 8u);
+}
+
+TEST_F(GeometryTest, InvalidConfigurationsFatal)
+{
+    EXPECT_THROW(Geometry(CpuTopology{}, 0, 4), afa::sim::SimError);
+    EXPECT_THROW(Geometry(CpuTopology{}, 64, 20), afa::sim::SimError);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cross-module integration tests: fabric saturation under aggregate
+ * load, throughput sanity at QD1, polled completions end to end, the
+ * system report, and metamorphic checks (longer runs collect more
+ * samples; disabling mechanisms removes their signatures).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hh"
+#include "core/system_report.hh"
+#include "raid/volume.hh"
+#include "sim/logging.hh"
+#include "workload/fio_thread.hh"
+
+using namespace afa::core;
+using afa::sim::Simulator;
+using afa::sim::msec;
+using afa::sim::sec;
+using afa::sim::usec;
+
+namespace {
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    ExperimentParams
+    baseParams()
+    {
+        ExperimentParams p;
+        p.profile = TuningProfile::IrqAffinity;
+        p.ssds = 8;
+        p.runtime = msec(400);
+        p.smartPeriod = msec(200);
+        p.seed = 77;
+        return p;
+    }
+};
+
+TEST_F(IntegrationTest, Qd1ThroughputMatchesLatency)
+{
+    auto params = baseParams();
+    auto result = ExperimentRunner::run(params);
+    // Closed loop: per-device IOPS ~ 1 / mean latency.
+    double mean_s = result.aggregate.meanUs[0] * 1e-6;
+    double expect_ios = afa::sim::toSec(params.runtime) / mean_s *
+        params.ssds;
+    EXPECT_NEAR(static_cast<double>(result.totalIos), expect_ios,
+                expect_ios * 0.1);
+}
+
+TEST_F(IntegrationTest, UplinkBoundsAggregateSequentialThroughput)
+{
+    // 16 SSDs of sequential 128 KiB reads at QD4 deliver far more
+    // than one x16 uplink carries; the fabric must cap the aggregate
+    // near the link's effective rate (16 lanes x 800 MB/s = 12.8
+    // GB/s) and never exceed it.
+    Simulator sim(5);
+    AfaSystemParams sys_params;
+    sys_params.ssds = 16;
+    sys_params.background = afa::host::BackgroundParams::none();
+    sys_params.firmware.smart.enabled = false;
+    AfaSystem system(sim, sys_params);
+    for (unsigned d = 0; d < 16; ++d)
+        system.ssd(d).ftl().precondition(1.0);
+
+    Geometry geometry(afa::host::CpuTopology{}, 16);
+    std::vector<std::unique_ptr<afa::workload::FioThread>> threads;
+    for (unsigned d = 0; d < 16; ++d) {
+        afa::workload::FioJob job =
+            afa::workload::FioJob::parse("rw=read bs=128k iodepth=4");
+        job.runtime = msec(300);
+        job.cpusAllowed = afa::host::CpuMask(1)
+            << geometry.cpuForDevice(d);
+        job.name = afa::sim::strfmt("fio%u", d);
+        threads.push_back(std::make_unique<afa::workload::FioThread>(
+            sim, job.name, system.scheduler(), system.ioEngine(), d,
+            job));
+    }
+    system.start();
+    for (auto &t : threads)
+        t->start(0);
+    sim.run(msec(500));
+
+    double bytes = 0;
+    for (auto &t : threads)
+        bytes += static_cast<double>(t->stats().readBytes);
+    double gbps = bytes / 0.3 / 1e9;
+    EXPECT_GT(gbps, 8.0);   // the uplink is really being used
+    EXPECT_LT(gbps, 12.9);  // and really is the bottleneck
+}
+
+TEST_F(IntegrationTest, PolledCompletionsBeatInterruptLatency)
+{
+    auto intr = baseParams();
+    intr.profile = TuningProfile::ExpFirmware;
+    auto base = ExperimentRunner::run(intr);
+
+    auto polled = intr;
+    polled.polledCompletions = true;
+    auto poll = ExperimentRunner::run(polled);
+
+    EXPECT_LT(poll.aggregate.meanUs[0], base.aggregate.meanUs[0]);
+    EXPECT_GT(poll.aggregate.meanUs[0],
+              base.aggregate.meanUs[0] - 10.0);
+}
+
+TEST_F(IntegrationTest, SystemReportCoversAllSections)
+{
+    auto params = baseParams();
+    params.captureSystemReport = true;
+    auto result = ExperimentRunner::run(params);
+    const std::string &report = result.systemReportText;
+    EXPECT_NE(report.find("CPU utilisation"), std::string::npos);
+    EXPECT_NE(report.find("IRQ subsystem"), std::string::npos);
+    EXPECT_NE(report.find("PCIe fabric"), std::string::npos);
+    EXPECT_NE(report.find("SMART collections"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, LongerRunsCollectMoreSamples)
+{
+    auto short_params = baseParams();
+    auto long_params = baseParams();
+    long_params.runtime = msec(800);
+    auto short_result = ExperimentRunner::run(short_params);
+    auto long_result = ExperimentRunner::run(long_params);
+    EXPECT_GT(long_result.totalIos,
+              short_result.totalIos * 3 / 2);
+}
+
+TEST_F(IntegrationTest, SmartPeriodScalesSpikeCount)
+{
+    auto fast = baseParams();
+    fast.scatterDevices = 8;
+    fast.smartPeriod = msec(100);
+    auto fast_result = ExperimentRunner::run(fast);
+    auto slow = baseParams();
+    slow.scatterDevices = 8;
+    slow.smartPeriod = msec(400);
+    auto slow_result = ExperimentRunner::run(slow);
+    auto fast_clusters =
+        fast_result.scatter.clusters(usec(150), msec(10)).size();
+    auto slow_clusters =
+        slow_result.scatter.clusters(usec(150), msec(10)).size();
+    EXPECT_GT(fast_clusters, slow_clusters);
+}
+
+TEST_F(IntegrationTest, StripedVolumeOverRealArray)
+{
+    // End to end: FIO drives a RAID-0 over 4 simulated SSDs.
+    Simulator sim(3);
+    AfaSystemParams sys_params;
+    sys_params.ssds = 4;
+    sys_params.background = afa::host::BackgroundParams::none();
+    sys_params.firmware.smart.enabled = false;
+    sys_params.pinIrqAffinity = true;
+    AfaSystem system(sim, sys_params);
+    afa::raid::StripedVolume volume(sim, "vol",
+                                    system.ioEngine(), {0, 1, 2, 3},
+                                    1);
+    afa::workload::FioJob job =
+        afa::workload::FioJob::parse("rw=randread bs=16k iodepth=1");
+    job.runtime = msec(200);
+    job.cpusAllowed = afa::host::CpuMask(1) << 14;
+    afa::workload::FioThread client(sim, "client",
+                                    system.scheduler(), volume, 0,
+                                    job);
+    system.start();
+    client.start(0);
+    sim.run(msec(400));
+    EXPECT_GT(client.stats().completed, 1000u);
+    EXPECT_EQ(volume.stats().clientIos, client.stats().submitted);
+    EXPECT_EQ(volume.stats().memberIos,
+              client.stats().submitted * 4);
+    // Each SSD saw a quarter of the member traffic.
+    for (unsigned d = 0; d < 4; ++d)
+        EXPECT_NEAR(
+            static_cast<double>(
+                system.ssd(d).stats().readsCompleted),
+            static_cast<double>(volume.stats().memberIos) / 4.0,
+            static_cast<double>(volume.stats().memberIos) * 0.05);
+}
+
+TEST_F(IntegrationTest, BackgroundLoadOnlyHurtsDefaultProfile)
+{
+    // Metamorphic: removing the zoo shrinks the default config's
+    // tail but barely moves the tuned one.
+    auto def_with = baseParams();
+    def_with.profile = TuningProfile::Default;
+    def_with.runtime = msec(600);
+    auto def_without = def_with;
+    def_without.backgroundLoad = false;
+    auto with_bg = ExperimentRunner::run(def_with);
+    auto without_bg = ExperimentRunner::run(def_without);
+    EXPECT_GE(with_bg.aggregate.maxUs[6],
+              without_bg.aggregate.maxUs[6]);
+}
+
+} // namespace

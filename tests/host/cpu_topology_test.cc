@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CPU topology tests against the paper's dual Xeon E5-2690 v2 layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/cpu_topology.hh"
+#include "sim/logging.hh"
+
+using afa::host::CpuTopology;
+using afa::host::CpuTopologyParams;
+
+namespace {
+
+TEST(CpuTopologyTest, PaperHostShape)
+{
+    CpuTopology topo;
+    EXPECT_EQ(topo.logicalCpus(), 40u);
+    EXPECT_EQ(topo.physicalCores(), 20u);
+    EXPECT_EQ(topo.describe(), "2 x 10c/20t");
+}
+
+TEST(CpuTopologyTest, LinuxNumbering)
+{
+    // cpu0-19 are the physical cores, cpu20-39 their HT siblings.
+    CpuTopology topo;
+    EXPECT_EQ(topo.physicalCoreOf(0), 0u);
+    EXPECT_EQ(topo.physicalCoreOf(19), 19u);
+    EXPECT_EQ(topo.physicalCoreOf(20), 0u);
+    EXPECT_EQ(topo.physicalCoreOf(39), 19u);
+    EXPECT_EQ(topo.threadOf(4), 0u);
+    EXPECT_EQ(topo.threadOf(24), 1u);
+}
+
+TEST(CpuTopologyTest, Sockets)
+{
+    CpuTopology topo;
+    EXPECT_EQ(topo.socketOf(0), 0u);
+    EXPECT_EQ(topo.socketOf(9), 0u);
+    EXPECT_EQ(topo.socketOf(10), 1u);
+    EXPECT_EQ(topo.socketOf(19), 1u);
+    EXPECT_EQ(topo.socketOf(29), 0u); // sibling of cpu9
+    EXPECT_EQ(topo.socketOf(30), 1u); // sibling of cpu10
+    EXPECT_TRUE(topo.sameSocket(4, 24));
+    EXPECT_FALSE(topo.sameSocket(4, 14));
+}
+
+TEST(CpuTopologyTest, Siblings)
+{
+    CpuTopology topo;
+    auto sib = topo.siblingsOf(4);
+    ASSERT_EQ(sib.size(), 1u);
+    EXPECT_EQ(sib[0], 24u);
+    auto sib2 = topo.siblingsOf(24);
+    ASSERT_EQ(sib2.size(), 1u);
+    EXPECT_EQ(sib2[0], 4u);
+}
+
+TEST(CpuTopologyTest, LogicalCpuInverse)
+{
+    CpuTopology topo;
+    for (unsigned cpu = 0; cpu < topo.logicalCpus(); ++cpu)
+        EXPECT_EQ(topo.logicalCpu(topo.physicalCoreOf(cpu),
+                                  topo.threadOf(cpu)),
+                  cpu);
+}
+
+TEST(CpuTopologyTest, SocketCpuLists)
+{
+    CpuTopology topo;
+    auto s1 = topo.cpusOnSocket(1);
+    ASSERT_EQ(s1.size(), 20u);
+    EXPECT_EQ(s1.front(), 10u);
+    EXPECT_EQ(s1.back(), 39u);
+    EXPECT_EQ(topo.uplinkSocket(), 1u);
+}
+
+TEST(CpuTopologyTest, CustomShape)
+{
+    CpuTopologyParams p;
+    p.sockets = 1;
+    p.coresPerSocket = 4;
+    p.threadsPerCore = 1;
+    p.uplinkSocket = 0;
+    CpuTopology topo(p);
+    EXPECT_EQ(topo.logicalCpus(), 4u);
+    EXPECT_TRUE(topo.siblingsOf(0).empty());
+}
+
+TEST(CpuTopologyTest, InvalidShapesFatal)
+{
+    afa::sim::setThrowOnError(true);
+    CpuTopologyParams p;
+    p.sockets = 0;
+    EXPECT_THROW(CpuTopology topo(p), afa::sim::SimError);
+    CpuTopologyParams q;
+    q.uplinkSocket = 5;
+    EXPECT_THROW(CpuTopology topo(q), afa::sim::SimError);
+    afa::sim::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Kernel config tests: cpu-list parsing/formatting and the paper's
+ * boot command line round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/kernel_config.hh"
+#include "host/scheduler.hh"
+#include "sim/logging.hh"
+
+using namespace afa::host;
+
+namespace {
+
+TEST(CpuListTest, ParseSingle)
+{
+    auto s = parseCpuList("5");
+    EXPECT_EQ(s, (CpuSet{5}));
+}
+
+TEST(CpuListTest, ParseRange)
+{
+    auto s = parseCpuList("4-7");
+    EXPECT_EQ(s, (CpuSet{4, 5, 6, 7}));
+}
+
+TEST(CpuListTest, ParseMixed)
+{
+    auto s = parseCpuList("0,4-6,9");
+    EXPECT_EQ(s, (CpuSet{0, 4, 5, 6, 9}));
+}
+
+TEST(CpuListTest, ParsePaperIsolcpusList)
+{
+    auto s = parseCpuList("4-19,24-39");
+    EXPECT_EQ(s.size(), 32u);
+    EXPECT_TRUE(s.count(4));
+    EXPECT_TRUE(s.count(19));
+    EXPECT_FALSE(s.count(20));
+    EXPECT_TRUE(s.count(24));
+    EXPECT_TRUE(s.count(39));
+}
+
+TEST(CpuListTest, FormatRoundTrip)
+{
+    EXPECT_EQ(formatCpuList(parseCpuList("4-19,24-39")), "4-19,24-39");
+    EXPECT_EQ(formatCpuList(parseCpuList("1")), "1");
+    EXPECT_EQ(formatCpuList(parseCpuList("1,3,5")), "1,3,5");
+    EXPECT_EQ(formatCpuList(CpuSet{}), "");
+}
+
+TEST(CpuListTest, BadInputIsFatal)
+{
+    afa::sim::setThrowOnError(true);
+    EXPECT_THROW(parseCpuList("7-3"), afa::sim::SimError);
+    EXPECT_THROW(parseCpuList("abc"), afa::sim::SimError);
+    afa::sim::setThrowOnError(false);
+}
+
+TEST(KernelConfigTest, DefaultBootLineIsEmpty)
+{
+    KernelConfig cfg;
+    EXPECT_EQ(cfg.bootCommandLine(), "");
+}
+
+TEST(KernelConfigTest, PaperBootLine)
+{
+    // The exact Section IV-C configuration.
+    KernelConfig cfg;
+    cfg.isolcpus = parseCpuList("4-19,24-39");
+    cfg.nohzFull = cfg.isolcpus;
+    cfg.rcuNocbs = cfg.isolcpus;
+    cfg.cstate.maxCstate = 1;
+    cfg.cstate.idlePoll = true;
+    EXPECT_EQ(cfg.bootCommandLine(),
+              "isolcpus=4-19,24-39 nohz_full=4-19,24-39 "
+              "rcu_nocbs=4-19,24-39 processor.max_cstate=1 idle=poll");
+}
+
+TEST(KernelConfigTest, BootLineRoundTrip)
+{
+    std::string line =
+        "isolcpus=4-19,24-39 nohz_full=4-19,24-39 "
+        "rcu_nocbs=4-19,24-39 processor.max_cstate=1 idle=poll";
+    KernelConfig cfg = KernelConfig::fromBootCommandLine(line);
+    EXPECT_EQ(cfg.isolcpus.size(), 32u);
+    EXPECT_EQ(cfg.nohzFull.size(), 32u);
+    EXPECT_EQ(cfg.rcuNocbs.size(), 32u);
+    EXPECT_EQ(cfg.cstate.maxCstate, 1u);
+    EXPECT_TRUE(cfg.cstate.idlePoll);
+    EXPECT_EQ(cfg.bootCommandLine(), line);
+}
+
+TEST(KernelConfigTest, UnknownOptionsIgnored)
+{
+    KernelConfig cfg =
+        KernelConfig::fromBootCommandLine("quiet splash isolcpus=1-2");
+    EXPECT_EQ(cfg.isolcpus.size(), 2u);
+}
+
+TEST(MaskTest, MaskFromSet)
+{
+    CpuMask m = maskFromSet(CpuSet{0, 3, 63});
+    EXPECT_EQ(m, (CpuMask(1) << 0) | (CpuMask(1) << 3) |
+                  (CpuMask(1) << 63));
+    EXPECT_EQ(maskFromSet(CpuSet{}), 0u);
+}
+
+TEST(MaskTest, MaskBeyond64IsFatal)
+{
+    afa::sim::setThrowOnError(true);
+    EXPECT_THROW(maskFromSet(CpuSet{64}), afa::sim::SimError);
+    afa::sim::setThrowOnError(false);
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * NAND package tests: operation timing, die/channel serialisation,
+ * parallelism across dies, and address checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nand/nand_array.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using afa::nand::NandArray;
+using afa::nand::NandParams;
+using afa::nand::PageAddr;
+using afa::sim::Simulator;
+using afa::sim::Tick;
+using afa::sim::usec;
+
+namespace {
+
+NandParams
+tightParams()
+{
+    NandParams p;
+    p.readSigma = 0.0;    // deterministic timing for the tests
+    p.programSigma = 0.0;
+    p.eraseSigma = 0.0;
+    return p;
+}
+
+class NandArrayTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    Simulator sim{3};
+};
+
+TEST_F(NandArrayTest, ReadTimingIsTrPlusTransfer)
+{
+    NandArray nand(sim, "nand", tightParams());
+    Tick done = 0;
+    nand.read(PageAddr{0, 0, 0, 0}, 4096, [&] { done = sim.now(); });
+    sim.run();
+    const auto &p = nand.params();
+    Tick xfer = static_cast<Tick>(4096.0 / (p.channelMBps * 1e6) * 1e9);
+    EXPECT_EQ(done, p.readLatency + xfer);
+    EXPECT_EQ(nand.stats().reads, 1u);
+}
+
+TEST_F(NandArrayTest, SameDieReadsSerialise)
+{
+    NandArray nand(sim, "nand", tightParams());
+    std::vector<Tick> done;
+    for (int i = 0; i < 3; ++i)
+        nand.read(PageAddr{0, 0, 0, static_cast<std::uint32_t>(i)},
+                  4096, [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 3u);
+    const Tick t_r = nand.params().readLatency;
+    EXPECT_EQ(done[1] - done[0], t_r);
+    EXPECT_EQ(done[2] - done[1], t_r);
+}
+
+TEST_F(NandArrayTest, DifferentDiesReadInParallel)
+{
+    NandArray nand(sim, "nand", tightParams());
+    std::vector<Tick> done;
+    // Same channel, different dies: tR overlaps, transfers serialise.
+    nand.read(PageAddr{0, 0, 0, 0}, 4096,
+              [&] { done.push_back(sim.now()); });
+    nand.read(PageAddr{0, 1, 0, 0}, 4096,
+              [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    Tick xfer = static_cast<Tick>(
+        4096.0 / (nand.params().channelMBps * 1e6) * 1e9);
+    EXPECT_EQ(done[1] - done[0], xfer);
+}
+
+TEST_F(NandArrayTest, DifferentChannelsFullyParallel)
+{
+    NandArray nand(sim, "nand", tightParams());
+    std::vector<Tick> done;
+    nand.read(PageAddr{0, 0, 0, 0}, 4096,
+              [&] { done.push_back(sim.now()); });
+    nand.read(PageAddr{1, 0, 0, 0}, 4096,
+              [&] { done.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], done[1]);
+}
+
+TEST_F(NandArrayTest, ProgramOccupiesChannelThenDie)
+{
+    NandArray nand(sim, "nand", tightParams());
+    Tick done = 0;
+    nand.program(PageAddr{0, 0, 0, 0}, 16384, [&] { done = sim.now(); });
+    sim.run();
+    const auto &p = nand.params();
+    Tick xfer = static_cast<Tick>(16384.0 / (p.channelMBps * 1e6) * 1e9);
+    EXPECT_EQ(done, xfer + p.programLatency);
+    EXPECT_EQ(nand.stats().programs, 1u);
+}
+
+TEST_F(NandArrayTest, EraseTiming)
+{
+    NandArray nand(sim, "nand", tightParams());
+    Tick done = 0;
+    nand.erase(PageAddr{2, 1, 7, 0}, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, nand.params().eraseLatency);
+    EXPECT_EQ(nand.stats().erases, 1u);
+}
+
+TEST_F(NandArrayTest, ReadBehindEraseWaits)
+{
+    NandArray nand(sim, "nand", tightParams());
+    Tick erase_done = 0, read_done = 0;
+    nand.erase(PageAddr{0, 0, 1, 0}, [&] { erase_done = sim.now(); });
+    nand.read(PageAddr{0, 0, 0, 0}, 4096, [&] { read_done = sim.now(); });
+    sim.run();
+    EXPECT_GT(read_done, erase_done);
+}
+
+TEST_F(NandArrayTest, AddrForDieMapsLinearly)
+{
+    NandArray nand(sim, "nand", tightParams());
+    const auto &p = nand.params();
+    auto a = nand.addrForDie(0, 3, 4);
+    EXPECT_EQ(a.channel, 0u);
+    EXPECT_EQ(a.die, 0u);
+    auto b = nand.addrForDie(p.diesPerChannel, 3, 4);
+    EXPECT_EQ(b.channel, 1u);
+    EXPECT_EQ(b.die, 0u);
+    auto c = nand.addrForDie(p.diesPerChannel + 1, 3, 4);
+    EXPECT_EQ(c.channel, 1u);
+    EXPECT_EQ(c.die, 1u);
+    EXPECT_EQ(c.block, 3u);
+    EXPECT_EQ(c.page, 4u);
+}
+
+TEST_F(NandArrayTest, BadAddressPanics)
+{
+    NandArray nand(sim, "nand", tightParams());
+    const auto &p = nand.params();
+    EXPECT_THROW(nand.read(PageAddr{p.channels, 0, 0, 0}, 4096, [] {}),
+                 afa::sim::SimError);
+    EXPECT_THROW(nand.read(PageAddr{0, p.diesPerChannel, 0, 0}, 4096,
+                           [] {}),
+                 afa::sim::SimError);
+    EXPECT_THROW(
+        nand.read(PageAddr{0, 0, p.blocksPerDie, 0}, 4096, [] {}),
+        afa::sim::SimError);
+    EXPECT_THROW(
+        nand.read(PageAddr{0, 0, 0, p.pagesPerBlock}, 4096, [] {}),
+        afa::sim::SimError);
+}
+
+TEST_F(NandArrayTest, BadGeometryFatal)
+{
+    NandParams p = tightParams();
+    p.channels = 0;
+    EXPECT_THROW(NandArray(sim, "nand", p), afa::sim::SimError);
+}
+
+TEST_F(NandArrayTest, ReadLatencyJitterWithSigma)
+{
+    NandParams p = tightParams();
+    p.readSigma = 0.1;
+    NandArray nand(sim, "nand", p);
+    std::vector<Tick> done;
+    Tick prev = 0;
+    // Sequential (dependent) reads so each sample is independent of
+    // queueing.
+    std::function<void(int)> issue = [&](int remaining) {
+        if (remaining == 0)
+            return;
+        nand.read(PageAddr{0, 0, 0, 0}, 4096, [&, remaining] {
+            done.push_back(sim.now() - prev);
+            prev = sim.now();
+            issue(remaining - 1);
+        });
+    };
+    issue(50);
+    sim.run();
+    ASSERT_EQ(done.size(), 50u);
+    bool varied = false;
+    for (std::size_t i = 1; i < done.size(); ++i)
+        if (done[i] != done[0])
+            varied = true;
+    EXPECT_TRUE(varied);
+    for (Tick t : done) {
+        EXPECT_GT(t, usec(30));
+        EXPECT_LT(t, usec(120));
+    }
+}
+
+TEST_F(NandArrayTest, UtilisationCountersAdvance)
+{
+    NandArray nand(sim, "nand", tightParams());
+    nand.read(PageAddr{0, 0, 0, 0}, 4096, [] {});
+    nand.program(PageAddr{1, 0, 0, 0}, 16384, [] {});
+    sim.run();
+    EXPECT_GT(nand.stats().dieBusyTime, 0u);
+    EXPECT_GT(nand.stats().channelBusyTime, 0u);
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Volume tests: striping address math, fan-out/join semantics (the
+ * tail-at-scale property: a client I/O is as slow as its slowest
+ * member), mirroring policies, and capacity arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "raid/volume.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace afa::raid;
+using afa::sim::Simulator;
+using afa::sim::Tick;
+using afa::sim::usec;
+using afa::workload::IoRequest;
+
+namespace {
+
+/** Mock engine with per-device fixed latencies. */
+class MockEngine : public afa::workload::IoEngine
+{
+  public:
+    explicit MockEngine(Simulator &simulator) : sim(simulator) {}
+
+    void
+    submit(unsigned cpu, const IoRequest &request,
+           CompleteFn on_complete) override
+    {
+        (void)cpu;
+        requests.push_back(request);
+        Tick latency = usec(20);
+        if (request.device < perDeviceLatency.size() &&
+            perDeviceLatency[request.device] != 0)
+            latency = perDeviceLatency[request.device];
+        sim.scheduleAfter(latency,
+                          [fn = std::move(on_complete)] { fn(0); });
+    }
+
+    std::uint64_t
+    deviceBlocks(unsigned device) const override
+    {
+        return device == 3 ? 1000 : 2048; // device 3 is smaller
+    }
+
+    Simulator &sim;
+    std::vector<Tick> perDeviceLatency;
+    std::vector<IoRequest> requests;
+};
+
+class VolumeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        afa::sim::setThrowOnError(true);
+        sim = std::make_unique<Simulator>(9);
+        engine = std::make_unique<MockEngine>(*sim);
+    }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<MockEngine> engine;
+};
+
+TEST_F(VolumeTest, StripeMappingRotatesMembers)
+{
+    StripedVolume vol(*sim, "vol", *engine, {0, 1, 2}, 1);
+    EXPECT_EQ(vol.mapBlock(0), (std::pair<unsigned, std::uint64_t>{0, 0}));
+    EXPECT_EQ(vol.mapBlock(1), (std::pair<unsigned, std::uint64_t>{1, 0}));
+    EXPECT_EQ(vol.mapBlock(2), (std::pair<unsigned, std::uint64_t>{2, 0}));
+    EXPECT_EQ(vol.mapBlock(3), (std::pair<unsigned, std::uint64_t>{0, 1}));
+}
+
+TEST_F(VolumeTest, WideStripsKeepRunsTogether)
+{
+    StripedVolume vol(*sim, "vol", *engine, {0, 1}, 4);
+    EXPECT_EQ(vol.mapBlock(3),
+              (std::pair<unsigned, std::uint64_t>{0, 3}));
+    EXPECT_EQ(vol.mapBlock(4),
+              (std::pair<unsigned, std::uint64_t>{1, 0}));
+    EXPECT_EQ(vol.mapBlock(8),
+              (std::pair<unsigned, std::uint64_t>{0, 4}));
+}
+
+TEST_F(VolumeTest, StripedCapacityIsSumOfSmallest)
+{
+    StripedVolume vol(*sim, "vol", *engine, {0, 3}, 1);
+    // Smallest member (1000 blocks) x 2 members.
+    EXPECT_EQ(vol.deviceBlocks(0), 2000u);
+}
+
+TEST_F(VolumeTest, LargeIoFansOutAcrossMembers)
+{
+    StripedVolume vol(*sim, "vol", *engine, {0, 1, 2, 3}, 1);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0;
+    req.bytes = 4096 * 8; // 8 blocks over 4 members
+    bool done = false;
+    vol.submit(0, req, [&](unsigned) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(engine->requests.size(), 4u); // coalesced per member
+    for (const auto &child : engine->requests)
+        EXPECT_EQ(child.bytes, 4096u * 2);
+    EXPECT_EQ(vol.stats().clientIos, 1u);
+    EXPECT_EQ(vol.stats().memberIos, 4u);
+}
+
+TEST_F(VolumeTest, ClientCompletesWithSlowestMember)
+{
+    // The tail-at-scale join: member 2 is 10x slower.
+    engine->perDeviceLatency = {usec(20), usec(20), usec(200),
+                                usec(20)};
+    StripedVolume vol(*sim, "vol", *engine, {0, 1, 2, 3}, 1);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0;
+    req.bytes = 4096 * 4;
+    Tick done_at = 0;
+    vol.submit(0, req, [&](unsigned) { done_at = sim->now(); });
+    sim->run();
+    EXPECT_EQ(done_at, usec(200));
+}
+
+TEST_F(VolumeTest, SmallIoTouchesOneMember)
+{
+    StripedVolume vol(*sim, "vol", *engine, {0, 1, 2, 3}, 1);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 5; // member 1, lba 1
+    req.bytes = 4096;
+    bool done = false;
+    vol.submit(0, req, [&](unsigned) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(engine->requests.size(), 1u);
+    EXPECT_EQ(engine->requests[0].device, 1u);
+    EXPECT_EQ(engine->requests[0].lba, 1u);
+}
+
+TEST_F(VolumeTest, NonZeroDevicePanics)
+{
+    StripedVolume vol(*sim, "vol", *engine, {0, 1}, 1);
+    IoRequest req;
+    req.device = 1;
+    EXPECT_THROW(vol.submit(0, req, [](unsigned) {}),
+                 afa::sim::SimError);
+    EXPECT_THROW(vol.deviceBlocks(1), afa::sim::SimError);
+}
+
+TEST_F(VolumeTest, EmptyMemberListIsFatal)
+{
+    EXPECT_THROW(StripedVolume(*sim, "vol", *engine, {}, 1),
+                 afa::sim::SimError);
+    EXPECT_THROW(StripedVolume(*sim, "vol", *engine, {0}, 0),
+                 afa::sim::SimError);
+    EXPECT_THROW(MirroredVolume(*sim, "vol", *engine, {}),
+                 afa::sim::SimError);
+}
+
+TEST_F(VolumeTest, MirrorWritesReplicate)
+{
+    MirroredVolume vol(*sim, "vol", *engine, {0, 1, 2});
+    IoRequest req;
+    req.device = 0;
+    req.op = afa::nvme::Op::Write;
+    req.lba = 7;
+    req.bytes = 4096;
+    bool done = false;
+    vol.submit(0, req, [&](unsigned) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(engine->requests.size(), 3u);
+    for (unsigned m = 0; m < 3; ++m)
+        EXPECT_EQ(engine->requests[m].device, m);
+}
+
+TEST_F(VolumeTest, MirrorWriteWaitsForSlowestReplica)
+{
+    engine->perDeviceLatency = {usec(20), usec(500)};
+    MirroredVolume vol(*sim, "vol", *engine, {0, 1});
+    IoRequest req;
+    req.device = 0;
+    req.op = afa::nvme::Op::Write;
+    Tick done_at = 0;
+    vol.submit(0, req, [&](unsigned) { done_at = sim->now(); });
+    sim->run();
+    EXPECT_EQ(done_at, usec(500));
+}
+
+TEST_F(VolumeTest, MirrorRoundRobinSpreadsReads)
+{
+    MirroredVolume vol(*sim, "vol", *engine, {0, 1});
+    IoRequest req;
+    req.device = 0;
+    for (int i = 0; i < 10; ++i)
+        vol.submit(0, req, [](unsigned) {});
+    sim->run();
+    EXPECT_EQ(vol.readsPerMember()[0], 5u);
+    EXPECT_EQ(vol.readsPerMember()[1], 5u);
+}
+
+TEST_F(VolumeTest, MirrorPrimaryPolicyPinsReads)
+{
+    MirroredVolume vol(*sim, "vol", *engine, {0, 1},
+                       ReadPolicy::Primary);
+    IoRequest req;
+    req.device = 0;
+    for (int i = 0; i < 6; ++i)
+        vol.submit(0, req, [](unsigned) {});
+    sim->run();
+    EXPECT_EQ(vol.readsPerMember()[0], 6u);
+    EXPECT_EQ(vol.readsPerMember()[1], 0u);
+}
+
+TEST_F(VolumeTest, MirrorCapacityIsSmallestMember)
+{
+    MirroredVolume vol(*sim, "vol", *engine, {0, 3});
+    EXPECT_EQ(vol.deviceBlocks(0), 1000u);
+}
+
+TEST_F(VolumeTest, VolumesCompose)
+{
+    // RAID-10: a stripe over two mirrors.
+    MirroredVolume m0(*sim, "m0", *engine, {0, 1});
+    MirroredVolume m1(*sim, "m1", *engine, {2, 3});
+    // A tiny adapter engine exposing the two mirrors as devices 0/1.
+    struct TwoMirrors : afa::workload::IoEngine
+    {
+        MirroredVolume &a, &b;
+        TwoMirrors(MirroredVolume &x, MirroredVolume &y) : a(x), b(y)
+        {
+        }
+        void
+        submit(unsigned cpu, const IoRequest &request,
+               CompleteFn fn) override
+        {
+            IoRequest child = request;
+            child.device = 0;
+            (request.device == 0 ? a : b)
+                .submit(cpu, child, std::move(fn));
+        }
+        std::uint64_t
+        deviceBlocks(unsigned device) const override
+        {
+            return (device == 0 ? a : b).deviceBlocks(0);
+        }
+    } pair_engine(m0, m1);
+    StripedVolume raid10(*sim, "raid10", pair_engine, {0, 1}, 1);
+    IoRequest req;
+    req.device = 0;
+    req.op = afa::nvme::Op::Write;
+    req.bytes = 4096 * 2;
+    bool done = false;
+    raid10.submit(0, req, [&](unsigned) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(engine->requests.size(), 4u); // 2 strips x 2 replicas
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the Config store and its argv parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+using afa::sim::Config;
+
+namespace {
+
+class ConfigTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    Config cfg;
+};
+
+TEST_F(ConfigTest, MissingKeysYieldDefaults)
+{
+    EXPECT_EQ(cfg.getString("a", "dflt"), "dflt");
+    EXPECT_EQ(cfg.getInt("b", -3), -3);
+    EXPECT_EQ(cfg.getUint("c", 9), 9u);
+    EXPECT_TRUE(cfg.getBool("d", true));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("e", 2.5), 2.5);
+}
+
+TEST_F(ConfigTest, SetAndGetRoundTrip)
+{
+    cfg.set("s", "hello");
+    cfg.set("i", std::int64_t(-42));
+    cfg.set("u", std::uint64_t(42));
+    cfg.set("b", true);
+    cfg.set("d", 3.25);
+    EXPECT_EQ(cfg.getString("s", ""), "hello");
+    EXPECT_EQ(cfg.getInt("i", 0), -42);
+    EXPECT_EQ(cfg.getUint("u", 0), 42u);
+    EXPECT_TRUE(cfg.getBool("b", false));
+    EXPECT_DOUBLE_EQ(cfg.getDouble("d", 0.0), 3.25);
+}
+
+TEST_F(ConfigTest, BoolAcceptsCommonSpellings)
+{
+    for (const char *t : {"true", "1", "yes", "on", "TRUE", "Yes"}) {
+        cfg.set("k", t);
+        EXPECT_TRUE(cfg.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off", "FALSE"}) {
+        cfg.set("k", f);
+        EXPECT_FALSE(cfg.getBool("k", true)) << f;
+    }
+}
+
+TEST_F(ConfigTest, MalformedValuesAreFatal)
+{
+    cfg.set("k", "not-a-number");
+    EXPECT_THROW(cfg.getInt("k", 0), afa::sim::SimError);
+    EXPECT_THROW(cfg.getDouble("k", 0.0), afa::sim::SimError);
+    EXPECT_THROW(cfg.getBool("k", false), afa::sim::SimError);
+}
+
+TEST_F(ConfigTest, NegativeRejectedForUint)
+{
+    cfg.set("k", "-5");
+    EXPECT_THROW(cfg.getUint("k", 0), afa::sim::SimError);
+}
+
+TEST_F(ConfigTest, RequireFailsWhenMissing)
+{
+    EXPECT_THROW(cfg.requireString("nope"), afa::sim::SimError);
+    EXPECT_THROW(cfg.requireInt("nope"), afa::sim::SimError);
+    EXPECT_THROW(cfg.requireDouble("nope"), afa::sim::SimError);
+}
+
+TEST_F(ConfigTest, HexIntegersParse)
+{
+    cfg.set("k", "0x20");
+    EXPECT_EQ(cfg.getInt("k", 0), 32);
+}
+
+TEST_F(ConfigTest, ParseArgsEqualsForm)
+{
+    const char *argv[] = {"--runtime-ms=500", "--seed=7"};
+    auto pos = cfg.parseArgs(2, argv);
+    EXPECT_TRUE(pos.empty());
+    EXPECT_EQ(cfg.getInt("runtime_ms", 0), 500);
+    EXPECT_EQ(cfg.getInt("seed", 0), 7);
+}
+
+TEST_F(ConfigTest, ParseArgsSpaceForm)
+{
+    const char *argv[] = {"--ssds", "32", "file.txt"};
+    auto pos = cfg.parseArgs(3, argv);
+    ASSERT_EQ(pos.size(), 1u);
+    EXPECT_EQ(pos[0], "file.txt");
+    EXPECT_EQ(cfg.getInt("ssds", 0), 32);
+}
+
+TEST_F(ConfigTest, ParseArgsBareFlag)
+{
+    const char *argv[] = {"--csv", "--verbose"};
+    cfg.parseArgs(2, argv);
+    EXPECT_TRUE(cfg.getBool("csv", false));
+    EXPECT_TRUE(cfg.getBool("verbose", false));
+}
+
+TEST_F(ConfigTest, DashesNormaliseToUnderscores)
+{
+    const char *argv[] = {"--smart-period-s=30"};
+    cfg.parseArgs(1, argv);
+    EXPECT_EQ(cfg.getInt("smart_period_s", 0), 30);
+}
+
+TEST_F(ConfigTest, MergePrefersOther)
+{
+    cfg.set("a", 1);
+    cfg.set("b", 2);
+    Config other;
+    other.set("b", 20);
+    other.set("c", 30);
+    cfg.merge(other);
+    EXPECT_EQ(cfg.getInt("a", 0), 1);
+    EXPECT_EQ(cfg.getInt("b", 0), 20);
+    EXPECT_EQ(cfg.getInt("c", 0), 30);
+}
+
+TEST_F(ConfigTest, KeysWithPrefix)
+{
+    cfg.set("ssd.nand.read_us", 20);
+    cfg.set("ssd.nand.prog_us", 600);
+    cfg.set("ssd.smart.period_s", 30);
+    cfg.set("host.cpus", 40);
+    auto keys = cfg.keysWithPrefix("ssd.nand.");
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "ssd.nand.prog_us");
+    EXPECT_EQ(keys[1], "ssd.nand.read_us");
+}
+
+TEST_F(ConfigTest, EraseAndHas)
+{
+    cfg.set("k", 1);
+    EXPECT_TRUE(cfg.has("k"));
+    EXPECT_TRUE(cfg.erase("k"));
+    EXPECT_FALSE(cfg.has("k"));
+    EXPECT_FALSE(cfg.erase("k"));
+}
+
+TEST_F(ConfigTest, ToStringListsSortedEntries)
+{
+    cfg.set("b", 2);
+    cfg.set("a", 1);
+    EXPECT_EQ(cfg.toString(), "a = 1\nb = 2\n");
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for logging helpers: formatting and throw-on-error behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace {
+
+TEST(LoggingTest, StrfmtFormats)
+{
+    EXPECT_EQ(afa::sim::strfmt("x=%d y=%.2f", 3, 1.5), "x=3 y=1.50");
+    EXPECT_EQ(afa::sim::strfmt("%s", "plain"), "plain");
+    EXPECT_EQ(afa::sim::strfmt("empty"), "empty");
+}
+
+TEST(LoggingTest, PanicThrowsWhenConfigured)
+{
+    afa::sim::setThrowOnError(true);
+    try {
+        afa::sim::panic("broken %d", 7);
+        FAIL() << "panic returned";
+    } catch (const afa::sim::SimError &e) {
+        EXPECT_EQ(e.message, "panic: broken 7");
+    }
+    afa::sim::setThrowOnError(false);
+}
+
+TEST(LoggingTest, FatalThrowsWhenConfigured)
+{
+    afa::sim::setThrowOnError(true);
+    try {
+        afa::sim::fatal("bad config '%s'", "x");
+        FAIL() << "fatal returned";
+    } catch (const afa::sim::SimError &e) {
+        EXPECT_EQ(e.message, "fatal: bad config 'x'");
+    }
+    afa::sim::setThrowOnError(false);
+}
+
+TEST(LoggingTest, LogLevelRoundTrip)
+{
+    auto prev = afa::sim::logLevel();
+    afa::sim::setLogLevel(afa::sim::LogLevel::Debug);
+    EXPECT_EQ(afa::sim::logLevel(), afa::sim::LogLevel::Debug);
+    afa::sim::setLogLevel(prev);
+}
+
+TEST(TypesTest, DurationHelpers)
+{
+    using namespace afa::sim;
+    EXPECT_EQ(usec(1), 1000u);
+    EXPECT_EQ(msec(1), 1000u * 1000u);
+    EXPECT_EQ(sec(1), 1000u * 1000u * 1000u);
+    EXPECT_EQ(usec(2.5), 2500u);
+    EXPECT_DOUBLE_EQ(toUsec(usec(30)), 30.0);
+    EXPECT_DOUBLE_EQ(toMsec(msec(5)), 5.0);
+    EXPECT_DOUBLE_EQ(toSec(sec(2)), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the Simulator: clock semantics, run bounds, stop
+ * requests, and scheduling helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using afa::sim::Simulator;
+using afa::sim::Tick;
+
+namespace {
+
+class SimulatorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    Simulator sim{42};
+};
+
+TEST_F(SimulatorTest, ClockStartsAtZero)
+{
+    EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST_F(SimulatorTest, RunAdvancesClockToEventTimes)
+{
+    std::vector<Tick> seen;
+    sim.scheduleAt(100, [&] { seen.push_back(sim.now()); });
+    sim.scheduleAt(250, [&] { seen.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{100, 250}));
+    EXPECT_EQ(sim.now(), 250u);
+}
+
+TEST_F(SimulatorTest, ScheduleAfterIsRelative)
+{
+    Tick fired_at = 0;
+    sim.scheduleAt(100, [&] {
+        sim.scheduleAfter(50, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(fired_at, 150u);
+}
+
+TEST_F(SimulatorTest, RunUntilStopsClockAtBound)
+{
+    int fired = 0;
+    sim.scheduleAt(100, [&] { ++fired; });
+    sim.scheduleAt(300, [&] { ++fired; });
+    sim.run(200);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 200u);
+    // Remaining event still pending and runs on the next call.
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST_F(SimulatorTest, EventExactlyAtBoundRuns)
+{
+    int fired = 0;
+    sim.scheduleAt(200, [&] { ++fired; });
+    sim.run(200);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(SimulatorTest, RequestStopEndsRun)
+{
+    int fired = 0;
+    sim.scheduleAt(10, [&] {
+        ++fired;
+        sim.requestStop();
+    });
+    sim.scheduleAt(20, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    // A later run() resumes.
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST_F(SimulatorTest, SchedulingInPastPanics)
+{
+    sim.scheduleAt(100, [&] {
+        EXPECT_THROW(sim.scheduleAt(50, [] {}), afa::sim::SimError);
+    });
+    sim.run();
+}
+
+TEST_F(SimulatorTest, RunStepsLimitsExecution)
+{
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.scheduleAt(i, [&] { ++fired; });
+    EXPECT_EQ(sim.runSteps(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(sim.now(), 4u);
+}
+
+TEST_F(SimulatorTest, CancelStopsScheduledEvent)
+{
+    int fired = 0;
+    auto h = sim.scheduleAt(10, [&] { ++fired; });
+    EXPECT_TRUE(sim.pending(h));
+    EXPECT_TRUE(sim.cancel(h));
+    sim.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST_F(SimulatorTest, RunReturnsExecutedCount)
+{
+    for (int i = 1; i <= 5; ++i)
+        sim.scheduleAt(i, [] {});
+    EXPECT_EQ(sim.run(), 5u);
+    EXPECT_EQ(sim.executedEvents(), 5u);
+}
+
+TEST_F(SimulatorTest, SeedIsExposed)
+{
+    EXPECT_EQ(sim.seed(), 42u);
+}
+
+TEST_F(SimulatorTest, RecurringEventChainTerminatesAtBound)
+{
+    // A self-rescheduling event (like a timer tick) must stop at the
+    // run bound without draining the queue.
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        ++ticks;
+        sim.scheduleAfter(10, tick);
+    };
+    sim.scheduleAt(0, tick);
+    sim.run(100);
+    EXPECT_EQ(ticks, 11); // t = 0, 10, ..., 100
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Tracer (the simulator's LTTng analogue).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+using afa::sim::Tracer;
+
+namespace {
+
+TEST(TracerTest, DisabledCategoriesAreDropped)
+{
+    Tracer t;
+    t.record(10, "sched", "switch");
+    EXPECT_TRUE(t.records().empty());
+}
+
+TEST(TracerTest, EnabledCategoryIsKept)
+{
+    Tracer t;
+    t.enable("sched");
+    t.record(10, "sched", "switch");
+    ASSERT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records()[0].when, 10u);
+    EXPECT_EQ(t.records()[0].message, "switch");
+}
+
+TEST(TracerTest, PrefixMatchingAtDotBoundary)
+{
+    Tracer t;
+    t.enable("irq");
+    EXPECT_TRUE(t.enabled("irq"));
+    EXPECT_TRUE(t.enabled("irq.balance"));
+    EXPECT_FALSE(t.enabled("irqstorm")); // not a dot boundary
+    EXPECT_FALSE(t.enabled("sched"));
+}
+
+TEST(TracerTest, EnableAllCapturesEverything)
+{
+    Tracer t;
+    t.enableAll();
+    t.record(1, "a", "x");
+    t.record(2, "b.c", "y");
+    EXPECT_EQ(t.records().size(), 2u);
+}
+
+TEST(TracerTest, DisableStopsCapture)
+{
+    Tracer t;
+    t.enable("sched");
+    t.record(1, "sched", "a");
+    t.disable("sched");
+    t.record(2, "sched", "b");
+    EXPECT_EQ(t.records().size(), 1u);
+}
+
+TEST(TracerTest, FilteredSelectsByCategory)
+{
+    Tracer t;
+    t.enableAll();
+    t.record(1, "sched", "a");
+    t.record(2, "irq.balance", "b");
+    t.record(3, "irq", "c");
+    auto irq = t.filtered("irq");
+    ASSERT_EQ(irq.size(), 2u);
+    EXPECT_EQ(irq[0].message, "b");
+    EXPECT_EQ(irq[1].message, "c");
+}
+
+TEST(TracerTest, CapacityBoundDropsOldest)
+{
+    Tracer t(3);
+    t.enableAll();
+    for (int i = 0; i < 5; ++i)
+        t.record(i, "c", std::to_string(i));
+    EXPECT_EQ(t.records().size(), 3u);
+    EXPECT_EQ(t.dropped(), 2u);
+    EXPECT_EQ(t.records().front().message, "2");
+}
+
+TEST(TracerTest, ClearResets)
+{
+    Tracer t;
+    t.enableAll();
+    t.record(1, "c", "x");
+    t.clear();
+    EXPECT_TRUE(t.records().empty());
+    EXPECT_EQ(t.dropped(), 0u);
+}
+
+} // namespace

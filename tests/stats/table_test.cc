@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the ASCII table / CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "stats/table.hh"
+
+using afa::stats::Table;
+
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows)
+{
+    Table t({"device", "avg", "max"});
+    t.addRow({"nvme0", "30.1", "612.0"});
+    t.addRow({"nvme1", "29.8", "598.3"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("device"), std::string::npos);
+    EXPECT_NE(s.find("nvme0"), std::string::npos);
+    EXPECT_NE(s.find("612.0"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(TableTest, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"x"});
+    EXPECT_EQ(t.rows(), 1u);
+    // No crash rendering a padded row.
+    EXPECT_FALSE(t.toString().empty());
+}
+
+TEST(TableTest, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::num(std::uint64_t(42)), "42");
+}
+
+TEST(TableTest, CsvEscapesSpecialCells)
+{
+    Table t({"k", "v"});
+    t.addRow({"a,b", "he said \"hi\""});
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainRow)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, EmptyHeadersAreFatal)
+{
+    afa::sim::setThrowOnError(true);
+    EXPECT_THROW(Table({}), afa::sim::SimError);
+    afa::sim::setThrowOnError(false);
+}
+
+TEST(TableTest, ColumnsAlign)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "100"});
+    std::string s = t.toString();
+    // All lines equal length for aligned single-width columns.
+    std::size_t pos = 0, prev_len = 0;
+    int line = 0;
+    while (pos < s.size()) {
+        auto nl = s.find('\n', pos);
+        std::size_t len = nl - pos;
+        if (line > 0) {
+            EXPECT_EQ(len, prev_len) << "line " << line;
+        }
+        prev_len = len;
+        pos = nl + 1;
+        ++line;
+    }
+    EXPECT_EQ(line, 4); // header + rule + 2 rows
+}
+
+} // namespace
