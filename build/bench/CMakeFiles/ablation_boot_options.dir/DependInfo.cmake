@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_boot_options.cpp" "bench/CMakeFiles/ablation_boot_options.dir/ablation_boot_options.cpp.o" "gcc" "bench/CMakeFiles/ablation_boot_options.dir/ablation_boot_options.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/afa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/afa_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/afa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/afa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/afa_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/afa_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/afa_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

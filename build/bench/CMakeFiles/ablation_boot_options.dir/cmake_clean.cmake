@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_boot_options.dir/ablation_boot_options.cpp.o"
+  "CMakeFiles/ablation_boot_options.dir/ablation_boot_options.cpp.o.d"
+  "ablation_boot_options"
+  "ablation_boot_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_boot_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gc_aging.dir/ablation_gc_aging.cpp.o"
+  "CMakeFiles/ablation_gc_aging.dir/ablation_gc_aging.cpp.o.d"
+  "ablation_gc_aging"
+  "ablation_gc_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gc_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_irqbalance.dir/ablation_irqbalance.cpp.o"
+  "CMakeFiles/ablation_irqbalance.dir/ablation_irqbalance.cpp.o.d"
+  "ablation_irqbalance"
+  "ablation_irqbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_irqbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

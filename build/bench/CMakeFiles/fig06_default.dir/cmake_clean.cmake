@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_default.dir/fig06_default.cpp.o"
+  "CMakeFiles/fig06_default.dir/fig06_default.cpp.o.d"
+  "fig06_default"
+  "fig06_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_chrt.dir/fig07_chrt.cpp.o"
+  "CMakeFiles/fig07_chrt.dir/fig07_chrt.cpp.o.d"
+  "fig07_chrt"
+  "fig07_chrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_chrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

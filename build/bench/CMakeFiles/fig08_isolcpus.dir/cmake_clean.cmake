@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_isolcpus.dir/fig08_isolcpus.cpp.o"
+  "CMakeFiles/fig08_isolcpus.dir/fig08_isolcpus.cpp.o.d"
+  "fig08_isolcpus"
+  "fig08_isolcpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_isolcpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

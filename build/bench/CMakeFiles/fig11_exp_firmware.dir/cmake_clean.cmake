@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_exp_firmware.dir/fig11_exp_firmware.cpp.o"
+  "CMakeFiles/fig11_exp_firmware.dir/fig11_exp_firmware.cpp.o.d"
+  "fig11_exp_firmware"
+  "fig11_exp_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_exp_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ssd_per_core.dir/fig13_ssd_per_core.cpp.o"
+  "CMakeFiles/fig13_ssd_per_core.dir/fig13_ssd_per_core.cpp.o.d"
+  "fig13_ssd_per_core"
+  "fig13_ssd_per_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ssd_per_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

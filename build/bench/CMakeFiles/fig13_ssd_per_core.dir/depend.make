@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_ssd_per_core.
+# This may be replaced when dependencies are built.

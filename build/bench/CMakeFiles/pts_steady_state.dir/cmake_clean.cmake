@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pts_steady_state.dir/pts_steady_state.cpp.o"
+  "CMakeFiles/pts_steady_state.dir/pts_steady_state.cpp.o.d"
+  "pts_steady_state"
+  "pts_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pts_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

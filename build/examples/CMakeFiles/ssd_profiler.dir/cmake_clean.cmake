@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_profiler.dir/ssd_profiler.cpp.o"
+  "CMakeFiles/ssd_profiler.dir/ssd_profiler.cpp.o.d"
+  "ssd_profiler"
+  "ssd_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

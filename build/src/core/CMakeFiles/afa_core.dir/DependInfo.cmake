@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/afa_system.cc" "src/core/CMakeFiles/afa_core.dir/afa_system.cc.o" "gcc" "src/core/CMakeFiles/afa_core.dir/afa_system.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/afa_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/afa_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/geometry.cc" "src/core/CMakeFiles/afa_core.dir/geometry.cc.o" "gcc" "src/core/CMakeFiles/afa_core.dir/geometry.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/afa_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/afa_core.dir/report.cc.o.d"
+  "/root/repo/src/core/system_report.cc" "src/core/CMakeFiles/afa_core.dir/system_report.cc.o" "gcc" "src/core/CMakeFiles/afa_core.dir/system_report.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/core/CMakeFiles/afa_core.dir/tuning.cc.o" "gcc" "src/core/CMakeFiles/afa_core.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/afa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/afa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/afa_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/afa_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/afa_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/afa_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/afa_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

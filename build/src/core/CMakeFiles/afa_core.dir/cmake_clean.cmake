@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_core.dir/afa_system.cc.o"
+  "CMakeFiles/afa_core.dir/afa_system.cc.o.d"
+  "CMakeFiles/afa_core.dir/experiment.cc.o"
+  "CMakeFiles/afa_core.dir/experiment.cc.o.d"
+  "CMakeFiles/afa_core.dir/geometry.cc.o"
+  "CMakeFiles/afa_core.dir/geometry.cc.o.d"
+  "CMakeFiles/afa_core.dir/report.cc.o"
+  "CMakeFiles/afa_core.dir/report.cc.o.d"
+  "CMakeFiles/afa_core.dir/system_report.cc.o"
+  "CMakeFiles/afa_core.dir/system_report.cc.o.d"
+  "CMakeFiles/afa_core.dir/tuning.cc.o"
+  "CMakeFiles/afa_core.dir/tuning.cc.o.d"
+  "libafa_core.a"
+  "libafa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

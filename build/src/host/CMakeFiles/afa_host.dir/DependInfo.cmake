@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/background.cc" "src/host/CMakeFiles/afa_host.dir/background.cc.o" "gcc" "src/host/CMakeFiles/afa_host.dir/background.cc.o.d"
+  "/root/repo/src/host/cpu_topology.cc" "src/host/CMakeFiles/afa_host.dir/cpu_topology.cc.o" "gcc" "src/host/CMakeFiles/afa_host.dir/cpu_topology.cc.o.d"
+  "/root/repo/src/host/irq.cc" "src/host/CMakeFiles/afa_host.dir/irq.cc.o" "gcc" "src/host/CMakeFiles/afa_host.dir/irq.cc.o.d"
+  "/root/repo/src/host/kernel_config.cc" "src/host/CMakeFiles/afa_host.dir/kernel_config.cc.o" "gcc" "src/host/CMakeFiles/afa_host.dir/kernel_config.cc.o.d"
+  "/root/repo/src/host/scheduler.cc" "src/host/CMakeFiles/afa_host.dir/scheduler.cc.o" "gcc" "src/host/CMakeFiles/afa_host.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/afa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_host.dir/background.cc.o"
+  "CMakeFiles/afa_host.dir/background.cc.o.d"
+  "CMakeFiles/afa_host.dir/cpu_topology.cc.o"
+  "CMakeFiles/afa_host.dir/cpu_topology.cc.o.d"
+  "CMakeFiles/afa_host.dir/irq.cc.o"
+  "CMakeFiles/afa_host.dir/irq.cc.o.d"
+  "CMakeFiles/afa_host.dir/kernel_config.cc.o"
+  "CMakeFiles/afa_host.dir/kernel_config.cc.o.d"
+  "CMakeFiles/afa_host.dir/scheduler.cc.o"
+  "CMakeFiles/afa_host.dir/scheduler.cc.o.d"
+  "libafa_host.a"
+  "libafa_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_nand.dir/nand_array.cc.o"
+  "CMakeFiles/afa_nand.dir/nand_array.cc.o.d"
+  "libafa_nand.a"
+  "libafa_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_nvme.dir/controller.cc.o"
+  "CMakeFiles/afa_nvme.dir/controller.cc.o.d"
+  "CMakeFiles/afa_nvme.dir/ftl.cc.o"
+  "CMakeFiles/afa_nvme.dir/ftl.cc.o.d"
+  "CMakeFiles/afa_nvme.dir/smart.cc.o"
+  "CMakeFiles/afa_nvme.dir/smart.cc.o.d"
+  "libafa_nvme.a"
+  "libafa_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

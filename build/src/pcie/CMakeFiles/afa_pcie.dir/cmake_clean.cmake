@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_pcie.dir/afa_topology.cc.o"
+  "CMakeFiles/afa_pcie.dir/afa_topology.cc.o.d"
+  "CMakeFiles/afa_pcie.dir/fabric.cc.o"
+  "CMakeFiles/afa_pcie.dir/fabric.cc.o.d"
+  "CMakeFiles/afa_pcie.dir/link.cc.o"
+  "CMakeFiles/afa_pcie.dir/link.cc.o.d"
+  "libafa_pcie.a"
+  "libafa_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

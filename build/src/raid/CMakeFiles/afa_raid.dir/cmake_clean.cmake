@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_raid.dir/volume.cc.o"
+  "CMakeFiles/afa_raid.dir/volume.cc.o.d"
+  "libafa_raid.a"
+  "libafa_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

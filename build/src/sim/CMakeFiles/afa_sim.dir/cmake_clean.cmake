@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_sim.dir/config.cc.o"
+  "CMakeFiles/afa_sim.dir/config.cc.o.d"
+  "CMakeFiles/afa_sim.dir/event_queue.cc.o"
+  "CMakeFiles/afa_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/afa_sim.dir/logging.cc.o"
+  "CMakeFiles/afa_sim.dir/logging.cc.o.d"
+  "CMakeFiles/afa_sim.dir/random.cc.o"
+  "CMakeFiles/afa_sim.dir/random.cc.o.d"
+  "CMakeFiles/afa_sim.dir/simulator.cc.o"
+  "CMakeFiles/afa_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/afa_sim.dir/trace.cc.o"
+  "CMakeFiles/afa_sim.dir/trace.cc.o.d"
+  "libafa_sim.a"
+  "libafa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_stats.dir/histogram.cc.o"
+  "CMakeFiles/afa_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/afa_stats.dir/scatter_log.cc.o"
+  "CMakeFiles/afa_stats.dir/scatter_log.cc.o.d"
+  "CMakeFiles/afa_stats.dir/summary.cc.o"
+  "CMakeFiles/afa_stats.dir/summary.cc.o.d"
+  "CMakeFiles/afa_stats.dir/table.cc.o"
+  "CMakeFiles/afa_stats.dir/table.cc.o.d"
+  "libafa_stats.a"
+  "libafa_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libafa_stats.a"
+)

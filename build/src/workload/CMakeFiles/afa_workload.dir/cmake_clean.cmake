@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afa_workload.dir/fio_job.cc.o"
+  "CMakeFiles/afa_workload.dir/fio_job.cc.o.d"
+  "CMakeFiles/afa_workload.dir/fio_thread.cc.o"
+  "CMakeFiles/afa_workload.dir/fio_thread.cc.o.d"
+  "CMakeFiles/afa_workload.dir/pts.cc.o"
+  "CMakeFiles/afa_workload.dir/pts.cc.o.d"
+  "libafa_workload.a"
+  "libafa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

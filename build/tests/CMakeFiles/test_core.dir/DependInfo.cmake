@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/afa_system_test.cc" "tests/CMakeFiles/test_core.dir/core/afa_system_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/afa_system_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/core/geometry_test.cc" "tests/CMakeFiles/test_core.dir/core/geometry_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/geometry_test.cc.o.d"
+  "/root/repo/tests/core/integration_test.cc" "tests/CMakeFiles/test_core.dir/core/integration_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/integration_test.cc.o.d"
+  "/root/repo/tests/core/tuning_test.cc" "tests/CMakeFiles/test_core.dir/core/tuning_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tuning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/afa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/raid/CMakeFiles/afa_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/afa_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/afa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/afa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/afa_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/afa_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/afa_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/host/background_test.cc" "tests/CMakeFiles/test_host.dir/host/background_test.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/background_test.cc.o.d"
+  "/root/repo/tests/host/cpu_topology_test.cc" "tests/CMakeFiles/test_host.dir/host/cpu_topology_test.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/cpu_topology_test.cc.o.d"
+  "/root/repo/tests/host/irq_test.cc" "tests/CMakeFiles/test_host.dir/host/irq_test.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/irq_test.cc.o.d"
+  "/root/repo/tests/host/kernel_config_test.cc" "tests/CMakeFiles/test_host.dir/host/kernel_config_test.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/kernel_config_test.cc.o.d"
+  "/root/repo/tests/host/scheduler_test.cc" "tests/CMakeFiles/test_host.dir/host/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/test_host.dir/host/scheduler_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/afa_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

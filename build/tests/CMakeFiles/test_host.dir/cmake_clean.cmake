@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host.dir/host/background_test.cc.o"
+  "CMakeFiles/test_host.dir/host/background_test.cc.o.d"
+  "CMakeFiles/test_host.dir/host/cpu_topology_test.cc.o"
+  "CMakeFiles/test_host.dir/host/cpu_topology_test.cc.o.d"
+  "CMakeFiles/test_host.dir/host/irq_test.cc.o"
+  "CMakeFiles/test_host.dir/host/irq_test.cc.o.d"
+  "CMakeFiles/test_host.dir/host/kernel_config_test.cc.o"
+  "CMakeFiles/test_host.dir/host/kernel_config_test.cc.o.d"
+  "CMakeFiles/test_host.dir/host/scheduler_test.cc.o"
+  "CMakeFiles/test_host.dir/host/scheduler_test.cc.o.d"
+  "test_host"
+  "test_host.pdb"
+  "test_host[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nand.dir/nand/nand_array_test.cc.o"
+  "CMakeFiles/test_nand.dir/nand/nand_array_test.cc.o.d"
+  "test_nand"
+  "test_nand.pdb"
+  "test_nand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nvme/controller_test.cc" "tests/CMakeFiles/test_nvme.dir/nvme/controller_test.cc.o" "gcc" "tests/CMakeFiles/test_nvme.dir/nvme/controller_test.cc.o.d"
+  "/root/repo/tests/nvme/ftl_property_test.cc" "tests/CMakeFiles/test_nvme.dir/nvme/ftl_property_test.cc.o" "gcc" "tests/CMakeFiles/test_nvme.dir/nvme/ftl_property_test.cc.o.d"
+  "/root/repo/tests/nvme/ftl_test.cc" "tests/CMakeFiles/test_nvme.dir/nvme/ftl_test.cc.o" "gcc" "tests/CMakeFiles/test_nvme.dir/nvme/ftl_test.cc.o.d"
+  "/root/repo/tests/nvme/smart_test.cc" "tests/CMakeFiles/test_nvme.dir/nvme/smart_test.cc.o" "gcc" "tests/CMakeFiles/test_nvme.dir/nvme/smart_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nvme/CMakeFiles/afa_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/afa_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme.dir/nvme/controller_test.cc.o"
+  "CMakeFiles/test_nvme.dir/nvme/controller_test.cc.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/ftl_property_test.cc.o"
+  "CMakeFiles/test_nvme.dir/nvme/ftl_property_test.cc.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/ftl_test.cc.o"
+  "CMakeFiles/test_nvme.dir/nvme/ftl_test.cc.o.d"
+  "CMakeFiles/test_nvme.dir/nvme/smart_test.cc.o"
+  "CMakeFiles/test_nvme.dir/nvme/smart_test.cc.o.d"
+  "test_nvme"
+  "test_nvme.pdb"
+  "test_nvme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

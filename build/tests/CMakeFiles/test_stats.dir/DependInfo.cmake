@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/histogram_test.cc" "tests/CMakeFiles/test_stats.dir/stats/histogram_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/histogram_test.cc.o.d"
+  "/root/repo/tests/stats/scatter_log_test.cc" "tests/CMakeFiles/test_stats.dir/stats/scatter_log_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/scatter_log_test.cc.o.d"
+  "/root/repo/tests/stats/summary_test.cc" "tests/CMakeFiles/test_stats.dir/stats/summary_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/summary_test.cc.o.d"
+  "/root/repo/tests/stats/table_test.cc" "tests/CMakeFiles/test_stats.dir/stats/table_test.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/afa_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afa_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
