@@ -58,20 +58,28 @@ main(int argc, char **argv)
         {"all (isolcpus profile)",
          TuningConfig::forProfile(TuningProfile::Isolcpus, geometry)});
 
+    afa::core::RunPlan plan;
+    for (const auto &variant : variants) {
+        auto params = opts.params;
+        params.tuningOverride = variant.cfg;
+        plan.add(variant.name, params);
+    }
+    auto run = afa::bench::executePlan(plan, opts);
+
     std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
         rows;
-    for (const auto &variant : variants) {
-        opts.params.tuningOverride = variant.cfg;
-        auto result = afa::core::ExperimentRunner::run(opts.params);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto &result = run.results[i];
         std::printf("--- %s: avg %.1f us, p99.99 %.1f us, max(mean) "
                     "%.1f us ---\n",
-                    variant.name, result.aggregate.meanUs[0],
+                    variants[i].name, result.aggregate.meanUs[0],
                     result.aggregate.meanUs[3],
                     result.aggregate.meanUs[6]);
-        rows.emplace_back(variant.name, result.aggregate);
+        rows.emplace_back(variants[i].name, result.aggregate);
     }
     std::printf("\n=== A1: boot-option ablation on top of chrt "
                 "(usec) ===\n");
     afa::bench::printTable(afa::core::comparisonTable(rows), opts.csv);
+    afa::bench::reportRunMetrics(run, opts);
     return 0;
 }

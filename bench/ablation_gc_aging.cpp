@@ -25,33 +25,42 @@ main(int argc, char **argv)
     if (!opts.params.ssds || opts.params.ssds > 16)
         opts.params.ssds = 16; // NAND-path runs are event-heavy
 
-    std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
-        rows;
-
-    auto run_case = [&](const char *name, double precondition,
+    afa::core::RunPlan plan;
+    auto add_case = [&](const char *name, double precondition,
                         const char *jobspec, double over_provision) {
         auto params = opts.params;
         params.preconditionFraction = precondition;
         params.job = afa::workload::FioJob::parse(jobspec);
         params.ftl.overProvision = over_provision;
-        auto result = ExperimentRunner::run(params);
+        plan.add(name, params);
+    };
+
+    add_case("FOB (paper)", 0.0, "rw=randread bs=4k iodepth=1", 1.25);
+    add_case("aged, read-only", 1.0, "rw=randread bs=4k iodepth=1",
+             1.25);
+    add_case("aged, 30% writes", 1.0,
+             "rw=randrw rwmixread=70 bs=4k iodepth=1", 1.09);
+
+    auto run = afa::bench::executePlan(plan, opts);
+
+    const char *names[] = {"FOB (paper)", "aged, read-only",
+                           "aged, 30% writes"};
+    std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
+        rows;
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+        const auto &result = run.results[i];
         std::printf("--- %s: avg %.1f us, p99.99 %.1f us, max(mean) "
                     "%.1f us, ios %llu ---\n",
-                    name, result.aggregate.meanUs[0],
+                    names[i], result.aggregate.meanUs[0],
                     result.aggregate.meanUs[3],
                     result.aggregate.meanUs[6],
                     (unsigned long long)result.totalIos);
-        rows.emplace_back(name, result.aggregate);
-    };
-
-    run_case("FOB (paper)", 0.0, "rw=randread bs=4k iodepth=1", 1.25);
-    run_case("aged, read-only", 1.0, "rw=randread bs=4k iodepth=1",
-             1.25);
-    run_case("aged, 30% writes", 1.0,
-             "rw=randrw rwmixread=70 bs=4k iodepth=1", 1.09);
+        rows.emplace_back(names[i], result.aggregate);
+    }
 
     std::printf("\n=== A2: FOB vs aged drive states (usec) ===\n");
     afa::bench::printTable(comparisonTable(rows), opts.csv);
+    afa::bench::reportRunMetrics(run, opts);
     std::printf("\nExpected shape: aged reads sit on NAND tR (~50 us "
                 "higher avg);\nwrite pressure adds GC die/channel "
                 "contention in the tail --\nthe effect the paper "

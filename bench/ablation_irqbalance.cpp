@@ -35,6 +35,7 @@ main(int argc, char **argv)
         {"pinned (paper)", 0, true},
     };
 
+    afa::core::RunPlan plan;
     for (const Case &c : cases) {
         TuningConfig cfg = TuningConfig::forProfile(
             c.pinned ? TuningProfile::IrqAffinity
@@ -46,15 +47,21 @@ main(int argc, char **argv)
         params.tuningOverride = cfg;
         params.irqBalanceInterval =
             c.interval > 0 ? c.interval : afa::sim::sec(1);
-        auto result = ExperimentRunner::run(params);
+        plan.add(c.name, params);
+    }
+    auto run = afa::bench::executePlan(plan, opts);
+
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+        const auto &result = run.results[i];
         std::printf("--- %s: stddev(avg) %.2f us, stddev(p99.99) "
                     "%.1f us ---\n",
-                    c.name, result.aggregate.stddevUs[0],
+                    cases[i].name, result.aggregate.stddevUs[0],
                     result.aggregate.stddevUs[3]);
-        rows.emplace_back(c.name, result.aggregate);
+        rows.emplace_back(cases[i].name, result.aggregate);
     }
     std::printf("\n=== A3: irqbalance interval sweep (usec) ===\n");
     afa::bench::printTable(comparisonTable(rows), opts.csv);
+    afa::bench::reportRunMetrics(run, opts);
     std::printf("\nNote: 'irqbalance off' keeps the driver's default "
                 "queue-to-CPU\nspread, so it converges like pinning; "
                 "the daemon is what breaks\nthe affinity.\n");

@@ -3,61 +3,40 @@
  * Ablation A5 (stated future work): NUMA placement of FIO threads.
  * The AFA uplink hangs off socket 1 (the paper's CPU2); threads on
  * socket 0 pay a QPI crossing on every interrupt and IPI. Runs the
- * same 16-SSD workload pinned to uplink-local vs remote cores.
+ * same 16-SSD workload pinned to uplink-local vs remote cores, as an
+ * explicit-placement run plan on the parallel experiment engine.
  */
 
 #include "common.hh"
 
-#include <memory>
-#include <vector>
-
-#include "sim/logging.hh"
-#include "workload/fio_thread.hh"
-
 using namespace afa::core;
-using afa::sim::Simulator;
-using afa::workload::FioJob;
-using afa::workload::FioThread;
 
 namespace {
 
-afa::stats::LadderAggregate
-runPinned(const afa::bench::BenchOptions &opts,
-          const std::vector<unsigned> &cpus, const char *label)
+ExperimentParams
+pinnedParams(const afa::bench::BenchOptions &opts,
+             const std::vector<unsigned> &cpus)
 {
-    Simulator sim(opts.params.seed);
-    AfaSystemParams sys_params;
-    sys_params.ssds = static_cast<unsigned>(cpus.size());
-    Geometry geometry(afa::host::CpuTopology{}, sys_params.ssds);
-    TuningConfig tuning = TuningConfig::forProfile(
-        TuningProfile::ExpFirmware, geometry);
-    sys_params.kernel = tuning.kernel;
-    sys_params.firmware = tuning.firmware;
-    sys_params.pinIrqAffinity = true;
-    sys_params.background = afa::host::BackgroundParams::none();
-    AfaSystem system(sim, sys_params);
+    ExperimentParams params = opts.params;
+    params.ssds = static_cast<unsigned>(cpus.size());
+    params.backgroundLoad = false;
+    // Keep the firmware/kernel cadence defaults of the original
+    // hand-rolled harness rather than the figure-bench scaling.
+    params.smartPeriod = 0;
+    params.irqBalanceInterval = 0;
 
-    std::vector<std::unique_ptr<FioThread>> threads;
-    for (unsigned i = 0; i < cpus.size(); ++i) {
-        FioJob job = opts.params.job;
-        job.runtime = opts.params.runtime;
-        job.cpusAllowed = afa::host::CpuMask(1) << cpus[i];
-        job.rtPriority = tuning.fioRtPriority;
-        job.name = afa::sim::strfmt("fio-%s-%u", label, i);
-        threads.push_back(std::make_unique<FioThread>(
-            sim, job.name, system.scheduler(), system.ioEngine(), i,
-            job));
-    }
-    system.start();
-    for (auto &t : threads)
-        t->start(0);
-    sim.run(opts.params.runtime + afa::sim::msec(200));
+    Geometry geometry(afa::host::CpuTopology{}, params.ssds);
+    TuningConfig tuning =
+        TuningConfig::forProfile(TuningProfile::ExpFirmware, geometry);
+    tuning.pinIrqAffinity = true;
+    params.profile = TuningProfile::ExpFirmware;
+    params.tuningOverride = tuning;
 
-    std::vector<afa::stats::LatencySummary> summaries;
-    for (unsigned i = 0; i < threads.size(); ++i)
-        summaries.push_back(afa::stats::LatencySummary::fromHistogram(
-            afa::sim::strfmt("nvme%u", i), threads[i]->histogram()));
-    return afa::stats::LadderAggregate::across(summaries);
+    Run placements;
+    for (unsigned i = 0; i < cpus.size(); ++i)
+        placements.push_back(Placement{i, cpus[i]});
+    params.placementOverride = placements;
+    return params;
 }
 
 } // namespace
@@ -66,7 +45,6 @@ int
 main(int argc, char **argv)
 {
     auto opts = afa::bench::parseOptions(argc, argv);
-    afa::host::CpuTopology topo;
 
     // 16 threads on uplink-local physical cores vs remote ones.
     std::vector<unsigned> local, remote;
@@ -79,8 +57,13 @@ main(int argc, char **argv)
     for (unsigned cpu = 20; cpu < 26; ++cpu)
         remote.push_back(cpu);
 
-    auto local_agg = runPinned(opts, local, "local");
-    auto remote_agg = runPinned(opts, remote, "remote");
+    RunPlan plan;
+    plan.add("uplink-local (socket 1)", pinnedParams(opts, local));
+    plan.add("uplink-remote (socket 0)", pinnedParams(opts, remote));
+    auto run = afa::bench::executePlan(plan, opts);
+
+    const auto &local_agg = run.results[0].aggregate;
+    const auto &remote_agg = run.results[1].aggregate;
 
     std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
         rows{{"uplink-local (socket 1)", local_agg},
@@ -90,5 +73,6 @@ main(int argc, char **argv)
     std::printf("\navg penalty for remote-socket threads: %.2f us "
                 "per IO\n",
                 remote_agg.meanUs[0] - local_agg.meanUs[0]);
+    afa::bench::reportRunMetrics(run, opts);
     return 0;
 }

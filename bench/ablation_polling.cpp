@@ -39,23 +39,31 @@ main(int argc, char **argv)
         {"polling, 4 SSD/core", true, GeometryVariant::FourPerCore},
     };
 
-    std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
-        rows;
+    afa::core::RunPlan plan;
     for (const Case &c : cases) {
         auto params = opts.params;
         params.polledCompletions = c.polled;
         params.variant = c.variant;
-        auto result = ExperimentRunner::run(params);
+        plan.add(c.name, params);
+    }
+    auto run = afa::bench::executePlan(plan, opts);
+
+    std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
+        rows;
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+        const auto &result = run.results[i];
         double kiops = result.totalIos /
-            afa::sim::toSec(params.runtime) / 1000.0 / result.runs;
+            afa::sim::toSec(opts.params.runtime) / 1000.0 /
+            result.runs;
         std::printf("--- %s: avg %.1f us, p99.99 %.1f us, %.0f kIOPS "
                     "aggregate ---\n",
-                    c.name, result.aggregate.meanUs[0],
+                    cases[i].name, result.aggregate.meanUs[0],
                     result.aggregate.meanUs[3], kiops);
-        rows.emplace_back(c.name, result.aggregate);
+        rows.emplace_back(cases[i].name, result.aggregate);
     }
     std::printf("\n=== A4: polling vs interrupt (usec) ===\n");
     afa::bench::printTable(comparisonTable(rows), opts.csv);
+    afa::bench::reportRunMetrics(run, opts);
     std::printf("\nExpected: polling trims several microseconds of "
                 "IRQ/wakeup path\nat 1 SSD/core, but at 4 SSDs/core "
                 "two polling threads contend for\neach logical CPU "

@@ -15,6 +15,12 @@
  *   --csv             emit CSV instead of aligned tables
  *   --per-device      also print the full 64-row per-device ladder
  *   --report          append the system attribution report
+ *   --jobs N          worker threads for the run plan (default 1;
+ *                     0 = all hardware threads). Results are
+ *                     bit-identical to a serial run.
+ *   --seeds N         replicate every run with seeds S..S+N-1 and
+ *                     aggregate the ladders across replicas
+ *   --metrics-json F  also write the per-run metrics JSON to file F
  */
 
 #ifndef AFA_BENCH_COMMON_HH
@@ -25,6 +31,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/run_plan.hh"
 #include "sim/config.hh"
 
 namespace afa::bench {
@@ -34,6 +41,9 @@ struct BenchOptions
     afa::core::ExperimentParams params;
     bool csv = false;
     bool perDevice = false;
+    unsigned jobs = 1;
+    unsigned seeds = 1;
+    std::string metricsJsonPath;
 };
 
 inline BenchOptions
@@ -56,6 +66,11 @@ parseOptions(int argc, char **argv)
     opts.csv = cfg.getBool("csv", false);
     opts.perDevice = cfg.getBool("per_device", false);
     p.captureSystemReport = cfg.getBool("report", false);
+    opts.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
+    opts.seeds = static_cast<unsigned>(cfg.getUint("seeds", 1));
+    if (opts.seeds == 0)
+        opts.seeds = 1;
+    opts.metricsJsonPath = cfg.getString("metrics_json", "");
     return opts;
 }
 
@@ -66,6 +81,74 @@ printTable(const afa::stats::Table &table, bool csv)
         std::fputs(table.toCsv().c_str(), stdout);
     else
         table.print();
+}
+
+/** Results and execution metrics of one figure-bench run plan. */
+struct PlanRun
+{
+    /** One result per planned case, seed replicas merged, in order. */
+    std::vector<afa::core::ExperimentResult> results;
+    afa::stats::Table metricsTable{{"run"}};
+    std::string metricsJson;
+    double wallSeconds = 0.0;
+    unsigned jobs = 1;
+    std::size_t runs = 0;
+};
+
+/**
+ * Expand @p plan with the --seeds replication, execute it on a
+ * --jobs-wide worker pool, and fold the seed replicas of each case
+ * back into one result.
+ */
+inline PlanRun
+executePlan(afa::core::RunPlan &plan, const BenchOptions &opts)
+{
+    plan.seeds(opts.seeds);
+    auto descriptors = plan.expand();
+
+    afa::core::ParallelExperimentRunner runner(opts.jobs);
+    runner.setProgress(true);
+    auto raw = runner.run(descriptors);
+
+    PlanRun out;
+    out.jobs = runner.jobs();
+    out.runs = descriptors.size();
+    out.wallSeconds = runner.suiteWallSeconds();
+    out.metricsTable = runner.metricsTable();
+    out.metricsJson = runner.metricsJson();
+    for (std::size_t base = 0; base < raw.size();
+         base += opts.seeds) {
+        std::vector<const afa::core::ExperimentResult *> group;
+        for (unsigned rep = 0;
+             rep < opts.seeds && base + rep < raw.size(); ++rep)
+            group.push_back(&raw[base + rep]);
+        out.results.push_back(
+            afa::core::ParallelExperimentRunner::mergeReplicas(
+                group));
+    }
+    return out;
+}
+
+/** Print the per-run metrics block (and write --metrics-json). */
+inline void
+reportRunMetrics(const PlanRun &run, const BenchOptions &opts)
+{
+    std::printf("\n=== run metrics: %zu runs, %u workers, %.2f s "
+                "wall ===\n",
+                run.runs, run.jobs, run.wallSeconds);
+    printTable(run.metricsTable, opts.csv);
+    if (!opts.metricsJsonPath.empty()) {
+        std::FILE *f = std::fopen(opts.metricsJsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write metrics JSON to %s\n",
+                         opts.metricsJsonPath.c_str());
+            return;
+        }
+        std::fputs(run.metricsJson.c_str(), f);
+        std::fclose(f);
+        std::printf("run metrics JSON written to %s\n",
+                    opts.metricsJsonPath.c_str());
+    }
 }
 
 /** The standard block every figure bench prints. */

@@ -5,6 +5,11 @@
  * chrt, isolcpus, irq). The paper's headline: with all host-side
  * optimizations, the mean of the max latency improves ~x8 and its
  * standard deviation ~x400 (1,644 -> 4).
+ *
+ * The four configurations are independent simulations, so they run
+ * as a plan on the parallel experiment engine: --jobs N executes
+ * them concurrently with bit-identical results, --seeds N replicates
+ * each configuration across seeds.
  */
 
 #include "common.hh"
@@ -15,14 +20,20 @@ main(int argc, char **argv)
     auto opts = afa::bench::parseOptions(argc, argv);
     using afa::core::TuningProfile;
 
+    const std::vector<TuningProfile> profiles{
+        TuningProfile::Default, TuningProfile::Chrt,
+        TuningProfile::Isolcpus, TuningProfile::IrqAffinity};
+
+    afa::core::RunPlan plan(opts.params);
+    plan.profiles(profiles);
+    auto run = afa::bench::executePlan(plan, opts);
+
     std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
         rows;
     afa::stats::LadderAggregate def_agg, irq_agg;
-    for (TuningProfile profile :
-         {TuningProfile::Default, TuningProfile::Chrt,
-          TuningProfile::Isolcpus, TuningProfile::IrqAffinity}) {
-        opts.params.profile = profile;
-        auto result = afa::core::ExperimentRunner::run(opts.params);
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        TuningProfile profile = profiles[i];
+        const auto &result = run.results[i];
         std::printf("--- %s ---\n%s\n",
                     afa::core::tuningProfileName(profile),
                     afa::core::describeExperiment(result).c_str());
@@ -53,5 +64,6 @@ main(int argc, char **argv)
                 "~x400)\n",
                 def_agg.stddevUs[max_idx], irq_agg.stddevUs[max_idx],
                 stddev_ratio);
+    afa::bench::reportRunMetrics(run, opts);
     return 0;
 }

@@ -5,6 +5,9 @@
  * geometries agree closely, confirming that profiling many SSDs in
  * parallel is valid while CPU utilisation stays low -- the basis of
  * the paper's "x10-x100 faster SSD profiling" claim.
+ *
+ * The four geometries execute as a plan on the parallel experiment
+ * engine (--jobs / --seeds, see common.hh).
  */
 
 #include "common.hh"
@@ -16,23 +19,29 @@ main(int argc, char **argv)
     opts.params.profile = afa::core::TuningProfile::IrqAffinity;
     using afa::core::GeometryVariant;
 
+    const std::vector<GeometryVariant> variants{
+        GeometryVariant::FourPerCore, GeometryVariant::TwoPerCore,
+        GeometryVariant::OnePerCore, GeometryVariant::SingleThread};
+
+    afa::core::RunPlan plan(opts.params);
+    plan.variants(variants);
+    auto run = afa::bench::executePlan(plan, opts);
+
     std::vector<std::pair<std::string, afa::stats::LadderAggregate>>
         rows;
-    for (GeometryVariant variant :
-         {GeometryVariant::FourPerCore, GeometryVariant::TwoPerCore,
-          GeometryVariant::OnePerCore,
-          GeometryVariant::SingleThread}) {
-        opts.params.variant = variant;
-        auto result = afa::core::ExperimentRunner::run(opts.params);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto &result = run.results[i];
         std::printf("--- %s: runs=%u ios=%llu ---\n",
-                    afa::core::geometryVariantName(variant),
+                    afa::core::geometryVariantName(variants[i]),
                     result.runs,
                     (unsigned long long)result.totalIos);
-        rows.emplace_back(afa::core::geometryVariantName(variant),
-                          result.aggregate);
+        rows.emplace_back(
+            afa::core::geometryVariantName(variants[i]),
+            result.aggregate);
     }
     std::printf("\n=== Fig. 14: comparison of SSDs per physical core "
                 "(usec) ===\n");
     afa::bench::printTable(afa::core::comparisonTable(rows), opts.csv);
+    afa::bench::reportRunMetrics(run, opts);
     return 0;
 }

@@ -50,6 +50,31 @@ BM_EventQueueDeepHeap(benchmark::State &state)
 BENCHMARK(BM_EventQueueDeepHeap)->Arg(1024)->Arg(65536);
 
 void
+BM_EventQueueCapturingEvent(benchmark::State &state)
+{
+    // The shape of a real simulator event: an object pointer plus a
+    // few words of arguments (24-40 bytes) -- past std::function's
+    // 16-byte inline buffer, inside EventFn's.
+    afa::sim::EventQueue q;
+    afa::sim::Tick when = 0;
+    std::uint64_t t = 0;
+    struct Target
+    {
+        std::uint64_t acc = 0;
+    } target;
+    std::uint64_t cmd_id = 7, bytes = 4096, cpu = 3;
+    for (auto _ : state) {
+        q.schedule(++t, [&target, cmd_id, bytes, cpu] {
+            target.acc += cmd_id + bytes + cpu;
+        });
+        q.runNext(when);
+    }
+    benchmark::DoNotOptimize(target.acc);
+    benchmark::DoNotOptimize(when);
+}
+BENCHMARK(BM_EventQueueCapturingEvent);
+
+void
 BM_EventQueueCancel(benchmark::State &state)
 {
     afa::sim::EventQueue q;

@@ -26,7 +26,9 @@ ExperimentRunner::run(const ExperimentParams &params)
     result.bootCmdline = tuning.kernel.bootCommandLine();
     result.perDevice.resize(params.ssds);
 
-    auto runs = geometry.runsFor(params.variant);
+    auto runs = params.placementOverride
+        ? std::vector<Run>{*params.placementOverride}
+        : geometry.runsFor(params.variant);
     result.runs = static_cast<unsigned>(runs.size());
 
     double total_bytes = 0.0;

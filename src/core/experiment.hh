@@ -79,6 +79,13 @@ struct ExperimentParams
 
     /** Capture the systemReport() of each run into the result. */
     bool captureSystemReport = false;
+
+    /**
+     * Explicit thread placements (device -> CPU) instead of the
+     * Table II expansion of `variant`. Used by the NUMA ablation to
+     * pin threads to uplink-local or remote sockets.
+     */
+    std::optional<Run> placementOverride;
 };
 
 /** Result of one experiment (merged across geometry runs). */

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * A RunPlan expands a base ExperimentParams over sweep axes (tuning
+ * profile x geometry variant x seed replicas) into an ordered list of
+ * RunDescriptors. A ParallelExperimentRunner executes the descriptors
+ * on a pool of worker threads; every run owns a private Simulator
+ * seeded from its own descriptor, so results are bit-identical to a
+ * serial execution regardless of worker count or completion order.
+ * Results land in plan order and per-run metrics (events executed,
+ * wall time, events/sec) are collected through a thread-safe log.
+ */
+
+#ifndef AFA_CORE_RUN_PLAN_HH
+#define AFA_CORE_RUN_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "stats/run_metrics.hh"
+
+namespace afa::core {
+
+/** One planned experiment: a label and its full parameter set. */
+struct RunDescriptor
+{
+    std::size_t index = 0; ///< slot in the result vector
+    std::string label;     ///< e.g. "isolcpus" or "default/seed3"
+    ExperimentParams params;
+};
+
+/**
+ * Builder that expands sweep axes into run descriptors.
+ *
+ * Axes compose as a cross product: profiles x variants x seed
+ * replicas. An axis left empty contributes the base value only.
+ * Explicitly added runs (add()) are appended after the expansion.
+ */
+class RunPlan
+{
+  public:
+    explicit RunPlan(ExperimentParams base_params = {})
+        : baseParams(std::move(base_params))
+    {
+    }
+
+    /** The parameter set every expanded run starts from. */
+    ExperimentParams &base() { return baseParams; }
+    const ExperimentParams &base() const { return baseParams; }
+
+    /** Sweep the tuning-profile axis. */
+    RunPlan &profiles(std::vector<TuningProfile> values);
+
+    /** Sweep the geometry-variant axis. */
+    RunPlan &variants(std::vector<GeometryVariant> values);
+
+    /**
+     * Replicate every run @p count times with seeds base.seed,
+     * base.seed + 1, ... (labels gain a "/seedN" suffix when
+     * count > 1).
+     */
+    RunPlan &seeds(unsigned count);
+
+    /** Append one explicit run outside the sweep axes. */
+    RunPlan &add(std::string label, ExperimentParams params);
+
+    /** Expand the axes into ordered descriptors. */
+    std::vector<RunDescriptor> expand() const;
+
+  private:
+    ExperimentParams baseParams;
+    std::vector<TuningProfile> profileAxis;
+    std::vector<GeometryVariant> variantAxis;
+    unsigned seedReplicas = 1;
+    std::vector<RunDescriptor> extraRuns;
+};
+
+/**
+ * Executes a run plan on a worker pool.
+ *
+ * Work distribution is a single atomic cursor over the descriptor
+ * list; each run writes its result into the slot reserved by its
+ * index, so the output order is the plan order independent of which
+ * worker finished first.
+ */
+class ParallelExperimentRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = hardware concurrency. */
+    explicit ParallelExperimentRunner(unsigned jobs = 0);
+
+    /** Execute every descriptor; results are in plan order. */
+    std::vector<ExperimentResult>
+    run(const std::vector<RunDescriptor> &plan);
+
+    /** Worker threads the runner will use. */
+    unsigned jobs() const { return numJobs; }
+
+    /** Print "run i/n finished" lines to stderr while running. */
+    void setProgress(bool enabled) { progress = enabled; }
+
+    /** Per-run metrics of the last run() call. */
+    const afa::stats::RunMetricsLog &metrics() const
+    {
+        return metricsLog;
+    }
+
+    /** Elapsed wall seconds of the last run() call. */
+    double suiteWallSeconds() const { return suiteSeconds; }
+
+    /** Metrics table of the last run() call (with totals row). */
+    afa::stats::Table metricsTable() const
+    {
+        return metricsLog.table(suiteSeconds);
+    }
+
+    /** Metrics JSON of the last run() call. */
+    std::string metricsJson() const
+    {
+        return metricsLog.toJson(suiteSeconds, numJobs);
+    }
+
+    /**
+     * Merge seed-replicated results back into one result per label
+     * prefix: per-device summaries are concatenated across replicas
+     * and the ladder aggregate recomputed over all of them.
+     */
+    static ExperimentResult
+    mergeReplicas(const std::vector<const ExperimentResult *> &group);
+
+  private:
+    unsigned numJobs;
+    bool progress = false;
+    afa::stats::RunMetricsLog metricsLog;
+    double suiteSeconds = 0.0;
+};
+
+} // namespace afa::core
+
+#endif // AFA_CORE_RUN_PLAN_HH

@@ -10,34 +10,56 @@ EventQueue::EventQueue()
     : nextSeq(0), numExecuted(0), numPending(0)
 {
     slab.reserve(1024);
+    slotKey.reserve(1024);
     heap.reserve(1024);
 }
 
 std::uint32_t
-EventQueue::allocSlot()
+EventQueue::growSlab()
 {
-    if (!freeSlots.empty()) {
-        std::uint32_t slot = freeSlots.back();
-        freeSlots.pop_back();
-        return slot;
-    }
+    if (slab.size() > kSlotMask)
+        panic("EventQueue: more than %llu concurrent events",
+              (unsigned long long)kSlotMask);
     slab.emplace_back();
+    slotKey.push_back(kStaleKey);
     return static_cast<std::uint32_t>(slab.size() - 1);
 }
 
 EventHandle
-EventQueue::schedule(Tick when, EventFn fn)
+EventQueue::scheduleSlot(Tick when)
 {
-    if (!fn)
-        panic("EventQueue::schedule: null callback");
+    if (nextSeq >= kMaxSeq)
+        panicSeqExhausted();
     std::uint32_t slot = allocSlot();
     Record &rec = slab[slot];
-    rec.fn = std::move(fn);
     rec.scheduled = true;
-    heap.push_back(HeapEntry{when, nextSeq++, slot, rec.gen});
-    std::push_heap(heap.begin(), heap.end(), HeapCompare{});
+    std::uint64_t key = (nextSeq++ << kSlotBits) | slot;
+    slotKey[slot] = key;
+    heap.push_back(HeapEntry{when, key});
+    std::push_heap(heap.begin(), heap.end(), Later{});
     ++numPending;
     return EventHandle{slot, rec.gen};
+}
+
+void
+EventQueue::panicNullCallback()
+{
+    panic("EventQueue::schedule: null callback");
+}
+
+void
+EventQueue::panicSeqExhausted()
+{
+    panic("EventQueue: event sequence space exhausted");
+}
+
+EventQueue::HeapEntry
+EventQueue::popTop()
+{
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    HeapEntry top = heap.back();
+    heap.pop_back();
+    return top;
 }
 
 bool
@@ -48,11 +70,12 @@ EventQueue::cancel(EventHandle handle)
     Record &rec = slab[handle.slot];
     if (!rec.scheduled || rec.gen != handle.gen)
         return false;
-    // Lazy deletion: bump the generation so the heap entry is stale;
-    // the slot is recycled when the heap entry surfaces.
+    // Lazy deletion: invalidate the slot key so the heap entry is
+    // stale; the slot is recycled when the entry surfaces.
     rec.scheduled = false;
     rec.fn = nullptr;
     ++rec.gen;
+    slotKey[handle.slot] = kStaleKey;
     freeSlots.push_back(handle.slot);
     --numPending;
     return true;
@@ -70,14 +93,8 @@ EventQueue::pending(EventHandle handle) const
 void
 EventQueue::skimStale()
 {
-    while (!heap.empty()) {
-        const HeapEntry &top = heap.front();
-        const Record &rec = slab[top.slot];
-        if (rec.scheduled && rec.gen == top.gen)
-            return; // live
-        std::pop_heap(heap.begin(), heap.end(), HeapCompare{});
-        heap.pop_back();
-    }
+    while (!heap.empty() && !live(heap.front()))
+        popTop();
 }
 
 Tick
@@ -93,23 +110,30 @@ bool
 EventQueue::popNext(Tick &when_out, EventFn &fn_out)
 {
     while (!heap.empty()) {
-        std::pop_heap(heap.begin(), heap.end(), HeapCompare{});
-        HeapEntry entry = heap.back();
-        heap.pop_back();
-        Record &rec = slab[entry.slot];
-        if (!rec.scheduled || rec.gen != entry.gen)
+        // Liveness is decided from the slot key before the sift so a
+        // live record's cache line can be fetched during the pop.
+        bool is_live = live(heap.front());
+        if (is_live)
+            prefetchRecord(heap.front());
+        HeapEntry entry = popTop();
+        if (!is_live)
             continue; // stale: cancelled earlier
-        fn_out = std::move(rec.fn);
-        rec.fn = nullptr;
-        rec.scheduled = false;
-        ++rec.gen;
-        freeSlots.push_back(entry.slot);
-        --numPending;
-        ++numExecuted;
-        when_out = entry.when;
+        takeRecord(entry, when_out, fn_out);
         return true;
     }
     return false;
+}
+
+bool
+EventQueue::popNextIfBefore(Tick until, Tick &when_out, EventFn &fn_out)
+{
+    skimStale();
+    if (heap.empty() || heap.front().when > until)
+        return false;
+    prefetchRecord(heap.front());
+    HeapEntry entry = popTop();
+    takeRecord(entry, when_out, fn_out);
+    return true;
 }
 
 bool
@@ -126,13 +150,16 @@ void
 EventQueue::clear()
 {
     for (auto &entry : heap) {
-        Record &rec = slab[entry.slot];
-        if (rec.scheduled && rec.gen == entry.gen) {
-            rec.scheduled = false;
-            rec.fn = nullptr;
-            ++rec.gen;
-            freeSlots.push_back(entry.slot);
-        }
+        if (!live(entry))
+            continue;
+        std::uint32_t slot =
+            static_cast<std::uint32_t>(entry.key & kSlotMask);
+        Record &rec = slab[slot];
+        rec.scheduled = false;
+        rec.fn = nullptr;
+        ++rec.gen;
+        slotKey[slot] = kStaleKey;
+        freeSlots.push_back(slot);
     }
     heap.clear();
     numPending = 0;

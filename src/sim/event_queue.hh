@@ -14,15 +14,12 @@
 #define AFA_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/event_fn.hh"
 #include "sim/types.hh"
 
 namespace afa::sim {
-
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
 
 /**
  * Opaque reference to a scheduled event.
@@ -53,9 +50,26 @@ class EventQueue
 
     /**
      * Schedule @p fn to run at absolute time @p when.
+     *
+     * Accepts any `void()` callable; the closure is constructed
+     * directly into its queue slot (no intermediate EventFn moves).
      * @return handle usable with cancel().
      */
-    EventHandle schedule(Tick when, EventFn fn);
+    template <typename F>
+    EventHandle
+    schedule(Tick when, F &&fn)
+    {
+        if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+            if (!fn)
+                panicNullCallback();
+        }
+        // The slot/heap bookkeeping is shared out-of-line code; only
+        // the closure construction is stamped out per callable, so the
+        // callback lands in its slot without any intermediate moves.
+        EventHandle handle = scheduleSlot(when);
+        slab[handle.slot].fn.assign(std::forward<F>(fn));
+        return handle;
+    }
 
     /**
      * Cancel a previously scheduled event.
@@ -96,6 +110,15 @@ class EventQueue
      */
     bool popNext(Tick &when_out, EventFn &fn_out);
 
+    /**
+     * Pop the earliest pending event only if it is due at or before
+     * @p until. Combines nextTime() + popNext() into one heap pass --
+     * the Simulator::run() hot path.
+     * @retval false when the queue is empty or the earliest event is
+     *         after @p until (distinguish via empty()).
+     */
+    bool popNextIfBefore(Tick until, Tick &when_out, EventFn &fn_out);
+
     /** Total events executed since construction. */
     std::uint64_t executed() const { return numExecuted; }
 
@@ -110,38 +133,123 @@ class EventQueue
         bool scheduled = false;
     };
 
+    /** Slot index width inside a heap key (16M concurrent slots). */
+    static constexpr unsigned kSlotBits = 24;
+    static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+    /** Sequence numbers above this would overflow the packed key. */
+    static constexpr std::uint64_t kMaxSeq = 1ull << (64 - kSlotBits);
+    /** slotKey value marking a slot with no live heap entry. */
+    static constexpr std::uint64_t kStaleKey = ~0ull;
+
+    /**
+     * Compact 16-byte heap entry: the key packs (seq << 24 | slot),
+     * so comparing keys compares seq (FIFO order; slots never tie
+     * because seq is unique). Liveness is checked against the dense
+     * slotKey array instead of the fat Record, keeping skims and pops
+     * inside two small arrays.
+     */
     struct HeapEntry
     {
         Tick when;
-        std::uint64_t seq;
-        std::uint32_t slot;
-        std::uint32_t gen;
+        std::uint64_t key;
     };
 
-    struct HeapCompare
+    /** Min-order on (when, seq); seq gives same-tick FIFO. */
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.key < b.key;
+    }
+
+    /** Comparator for the std heap algorithms (max-heap inversion). */
+    struct Later
     {
         bool
         operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            // std::push_heap builds a max-heap; invert for min-heap
-            // ordered by (when, seq).
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            return earlier(b, a);
         }
     };
 
     std::vector<Record> slab;
+    std::vector<std::uint64_t> slotKey; ///< parallel to slab
     std::vector<std::uint32_t> freeSlots;
     std::vector<HeapEntry> heap;
     std::uint64_t nextSeq;
     std::uint64_t numExecuted;
     std::size_t numPending;
 
-    std::uint32_t allocSlot();
+    /**
+     * Allocate a slot, mark it scheduled, and push its heap entry;
+     * the caller constructs the callback into the returned slot.
+     */
+    EventHandle scheduleSlot(Tick when);
+
+    std::uint32_t
+    allocSlot()
+    {
+        if (!freeSlots.empty()) {
+            std::uint32_t slot = freeSlots.back();
+            freeSlots.pop_back();
+            return slot;
+        }
+        return growSlab();
+    }
+
+    /** Slow path of allocSlot: extend the record slab. */
+    std::uint32_t growSlab();
+
+    [[noreturn]] static void panicNullCallback();
+    [[noreturn]] static void panicSeqExhausted();
+
+    bool
+    live(const HeapEntry &entry) const
+    {
+        return slotKey[entry.key & kSlotMask] == entry.key;
+    }
+
+    /** Remove and return the heap top (heap must be non-empty). */
+    HeapEntry popTop();
+
+    /**
+     * Start pulling a live top entry's record into cache before the
+     * heap sift runs; for deep heaps the slab access is a likely miss
+     * that this hides behind the pop.
+     */
+    void
+    prefetchRecord(const HeapEntry &entry) const
+    {
+#if defined(__GNUC__) || defined(__clang__)
+        std::uint32_t slot =
+            static_cast<std::uint32_t>(entry.key & kSlotMask);
+        __builtin_prefetch(&slab[slot], 1);
+#else
+        (void)entry;
+#endif
+    }
 
     /** Pop cancelled entries off the heap top. */
     void skimStale();
+
+    /** Extract a live record's callback after its entry is popped. */
+    void
+    takeRecord(const HeapEntry &entry, Tick &when_out, EventFn &fn_out)
+    {
+        std::uint32_t slot =
+            static_cast<std::uint32_t>(entry.key & kSlotMask);
+        Record &rec = slab[slot];
+        fn_out = std::move(rec.fn);
+        rec.fn = nullptr;
+        rec.scheduled = false;
+        ++rec.gen;
+        slotKey[slot] = kStaleKey;
+        freeSlots.push_back(slot);
+        --numPending;
+        ++numExecuted;
+        when_out = entry.when;
+    }
 };
 
 } // namespace afa::sim

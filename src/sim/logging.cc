@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -9,8 +10,10 @@ namespace afa::sim {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
-bool g_throw = false;
+// Atomics: worker threads of a parallel experiment sweep read
+// these concurrently with main-thread configuration.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<bool> g_throw{false};
 
 std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -33,19 +36,19 @@ vstrfmt(const char *fmt, va_list ap)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 setThrowOnError(bool enable)
 {
-    g_throw = enable;
+    g_throw.store(enable, std::memory_order_relaxed);
 }
 
 void
@@ -55,7 +58,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    if (g_throw)
+    if (g_throw.load(std::memory_order_relaxed))
         throw SimError{"panic: " + msg};
     std::fprintf(stderr, "panic: %s\n", msg.c_str());
     std::abort();
@@ -68,7 +71,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    if (g_throw)
+    if (g_throw.load(std::memory_order_relaxed))
         throw SimError{"fatal: " + msg};
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
@@ -77,7 +80,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Warn)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -89,7 +92,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Info)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Info)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -101,7 +104,7 @@ inform(const char *fmt, ...)
 void
 debug(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Debug)
+    if (g_level.load(std::memory_order_relaxed) < LogLevel::Debug)
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -47,17 +47,19 @@ class SimObject
     Tick now() const { return simRef.now(); }
 
     /** Schedule a callback @p delay from now. */
+    template <typename F>
     EventHandle
-    after(Tick delay, EventFn fn)
+    after(Tick delay, F &&fn)
     {
-        return simRef.scheduleAfter(delay, std::move(fn));
+        return simRef.scheduleAfter(delay, std::forward<F>(fn));
     }
 
     /** Schedule a callback at absolute time @p when. */
+    template <typename F>
     EventHandle
-    at(Tick when, EventFn fn)
+    at(Tick when, F &&fn)
     {
-        return simRef.scheduleAt(when, std::move(fn));
+        return simRef.scheduleAt(when, std::forward<F>(fn));
     }
 
     /** Per-object deterministic random stream. */

@@ -11,21 +11,17 @@ Simulator::Simulator(std::uint64_t seed)
 {
 }
 
-EventHandle
-Simulator::scheduleAt(Tick when, EventFn fn)
+void
+Simulator::panicPastEvent(Tick when) const
 {
-    if (when < currentTick)
-        panic("scheduleAt: time %llu is in the past (now %llu)",
-              (unsigned long long)when, (unsigned long long)currentTick);
-    return events.schedule(when, std::move(fn));
+    panic("scheduleAt: time %llu is in the past (now %llu)",
+          (unsigned long long)when, (unsigned long long)currentTick);
 }
 
-EventHandle
-Simulator::scheduleAfter(Tick delay, EventFn fn)
+void
+Simulator::panicDelayOverflow()
 {
-    if (delay > kMaxTick - currentTick)
-        panic("scheduleAfter: delay overflows the clock");
-    return events.schedule(currentTick + delay, std::move(fn));
+    panic("scheduleAfter: delay overflows the clock");
 }
 
 std::uint64_t
@@ -34,19 +30,16 @@ Simulator::run(Tick until)
     std::uint64_t executed = 0;
     stopRequested = false;
     while (!stopRequested) {
-        Tick next = events.nextTime();
-        if (next == kMaxTick)
-            break; // drained
-        if (next > until) {
-            // Never move the clock backwards when the bound is in
-            // the past.
+        Tick when = 0;
+        EventFn fn;
+        if (!events.popNextIfBefore(until, when, fn)) {
+            if (events.empty())
+                break; // drained
+            // Next event is beyond the bound; never move the clock
+            // backwards when the bound is in the past.
             currentTick = std::max(currentTick, until);
             break;
         }
-        Tick when = 0;
-        EventFn fn;
-        if (!events.popNext(when, fn))
-            break;
         currentTick = when;
         fn();
         ++executed;

@@ -28,10 +28,25 @@ class Simulator
     Tick now() const { return currentTick; }
 
     /** Schedule @p fn at absolute time @p when (>= now). */
-    EventHandle scheduleAt(Tick when, EventFn fn);
+    template <typename F>
+    EventHandle
+    scheduleAt(Tick when, F &&fn)
+    {
+        if (when < currentTick)
+            panicPastEvent(when);
+        return events.schedule(when, std::forward<F>(fn));
+    }
 
     /** Schedule @p fn @p delay ticks from now. */
-    EventHandle scheduleAfter(Tick delay, EventFn fn);
+    template <typename F>
+    EventHandle
+    scheduleAfter(Tick delay, F &&fn)
+    {
+        if (delay > kMaxTick - currentTick)
+            panicDelayOverflow();
+        return events.schedule(currentTick + delay,
+                               std::forward<F>(fn));
+    }
 
     /** Cancel a pending event; see EventQueue::cancel. */
     bool cancel(EventHandle handle) { return events.cancel(handle); }
@@ -77,6 +92,9 @@ class Simulator
     std::uint64_t seed() const { return rootRng.seed(); }
 
   private:
+    [[noreturn]] void panicPastEvent(Tick when) const;
+    [[noreturn]] static void panicDelayOverflow();
+
     EventQueue events;
     Tick currentTick;
     bool stopRequested;

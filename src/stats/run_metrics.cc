@@ -1,0 +1,148 @@
+#include "stats/run_metrics.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace afa::stats {
+
+double
+RunMetrics::eventsPerSec() const
+{
+    if (wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(events) / wallSeconds;
+}
+
+void
+RunMetricsLog::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    runs.clear();
+    numStarted = 0;
+}
+
+void
+RunMetricsLog::record(RunMetrics metrics)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    runs.push_back(std::move(metrics));
+}
+
+void
+RunMetricsLog::noteStarted()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    ++numStarted;
+}
+
+std::size_t
+RunMetricsLog::started() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return numStarted;
+}
+
+std::size_t
+RunMetricsLog::finished() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return runs.size();
+}
+
+std::vector<RunMetrics>
+RunMetricsLog::snapshot() const
+{
+    std::vector<RunMetrics> copy;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        copy = runs;
+    }
+    std::sort(copy.begin(), copy.end(),
+              [](const RunMetrics &a, const RunMetrics &b) {
+                  return a.index < b.index;
+              });
+    return copy;
+}
+
+std::uint64_t
+RunMetricsLog::totalEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::uint64_t total = 0;
+    for (const RunMetrics &m : runs)
+        total += m.events;
+    return total;
+}
+
+double
+RunMetricsLog::totalWallSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    double total = 0.0;
+    for (const RunMetrics &m : runs)
+        total += m.wallSeconds;
+    return total;
+}
+
+Table
+RunMetricsLog::table(double suite_wall_seconds) const
+{
+    Table table({"run", "label", "worker", "events", "wall s",
+                 "events/s"});
+    std::uint64_t total_events = 0;
+    double total_wall = 0.0;
+    for (const RunMetrics &m : snapshot()) {
+        total_events += m.events;
+        total_wall += m.wallSeconds;
+        table.addRow({Table::num(std::uint64_t(m.index)), m.label,
+                      Table::num(std::uint64_t(m.worker)),
+                      Table::num(m.events),
+                      Table::num(m.wallSeconds, 2),
+                      Table::num(m.eventsPerSec(), 0)});
+    }
+    double suite_rate = suite_wall_seconds > 0.0
+        ? static_cast<double>(total_events) / suite_wall_seconds
+        : 0.0;
+    table.addRow({"total", "", "", Table::num(total_events),
+                  Table::num(suite_wall_seconds, 2),
+                  Table::num(suite_rate, 0)});
+    return table;
+}
+
+std::string
+RunMetricsLog::toJson(double suite_wall_seconds, unsigned jobs) const
+{
+    auto all = snapshot();
+    std::uint64_t total_events = 0;
+    for (const RunMetrics &m : all)
+        total_events += m.events;
+    double suite_rate = suite_wall_seconds > 0.0
+        ? static_cast<double>(total_events) / suite_wall_seconds
+        : 0.0;
+
+    std::string json = "{\n";
+    json += afa::sim::strfmt("  \"jobs\": %u,\n", jobs);
+    json += afa::sim::strfmt("  \"runs\": %zu,\n", all.size());
+    json += afa::sim::strfmt("  \"total_events\": %llu,\n",
+                             (unsigned long long)total_events);
+    json += afa::sim::strfmt("  \"suite_wall_seconds\": %.3f,\n",
+                             suite_wall_seconds);
+    json += afa::sim::strfmt("  \"suite_events_per_sec\": %.0f,\n",
+                             suite_rate);
+    json += "  \"per_run\": [\n";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const RunMetrics &m = all[i];
+        json += afa::sim::strfmt(
+            "    {\"index\": %zu, \"label\": \"%s\", \"worker\": %u, "
+            "\"events\": %llu, \"wall_seconds\": %.3f, "
+            "\"events_per_sec\": %.0f}%s\n",
+            m.index, m.label.c_str(), m.worker,
+            (unsigned long long)m.events, m.wallSeconds,
+            m.eventsPerSec(), i + 1 < all.size() ? "," : "");
+    }
+    json += "  ]\n}\n";
+    return json;
+}
+
+} // namespace afa::stats
