@@ -54,9 +54,10 @@ class Geometry
      *        for system tasks (the paper reserves 4 on socket 0,
      *        i.e. logical 0-3 and 20-23)
      */
-    explicit Geometry(const afa::host::CpuTopology &topology = {},
-                      unsigned ssds = 64,
-                      unsigned reserved_cores = 4);
+    explicit Geometry(
+        const afa::host::CpuTopology &topology = afa::host::CpuTopology(),
+        unsigned ssds = 64,
+        unsigned reserved_cores = 4);
 
     /** Logical CPUs reserved for system tasks (0-3, 20-23). */
     const afa::host::CpuSet &reservedCpus() const { return reserved; }

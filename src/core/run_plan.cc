@@ -156,7 +156,8 @@ ParallelExperimentRunner::run(const std::vector<RunDescriptor> &plan)
             metrics.wallSeconds = elapsed.count();
             metrics.worker = worker_id;
             metricsLog.record(metrics);
-            if (progress)
+            if (progress) {
+                afa::sync::MutexLock lock(progressMutex);
                 std::fprintf(
                     stderr,
                     "[%zu/%zu] %s: %llu events in %.2f s "
@@ -166,6 +167,7 @@ ParallelExperimentRunner::run(const std::vector<RunDescriptor> &plan)
                     (unsigned long long)metrics.events,
                     metrics.wallSeconds, metrics.eventsPerSec(),
                     worker_id);
+            }
         }
     };
 
@@ -192,7 +194,7 @@ ParallelExperimentRunner::mergeReplicas(
     const std::vector<const ExperimentResult *> &group)
 {
     if (group.empty())
-        return {};
+        return ExperimentResult();
     ExperimentResult merged = *group.front();
     for (std::size_t i = 1; i < group.size(); ++i) {
         const ExperimentResult &r = *group[i];

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/sync.hh"
+#include "core/thread_annotations.hh"
 #include "stats/run_metrics.hh"
 
 namespace afa::core {
@@ -84,6 +86,17 @@ class RunPlan
  * list; each run writes its result into the slot reserved by its
  * index, so the output order is the plan order independent of which
  * worker finished first.
+ *
+ * Concurrency contract (checked by -Wthread-safety where it can be,
+ * by the TSan CI job where it cannot):
+ *  - result slots: each descriptor index is claimed by exactly one
+ *    worker via the atomic cursor, so slot writes are disjoint and
+ *    need no lock; the joins at the end of run() publish them to the
+ *    caller. This disjointness is invisible to static analysis and
+ *    is covered by the parallel-determinism suite under TSan.
+ *  - metricsLog: internally synchronised (see RunMetricsLog).
+ *  - progress lines: serialised by progressMutex so "[i/n]" lines
+ *    from different workers cannot interleave mid-line.
  */
 class ParallelExperimentRunner
 {
@@ -135,6 +148,8 @@ class ParallelExperimentRunner
     bool progress = false;
     afa::stats::RunMetricsLog metricsLog;
     double suiteSeconds = 0.0;
+    /** Serialises progress output from concurrent workers. */
+    mutable afa::sync::Mutex progressMutex;
 };
 
 } // namespace afa::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Annotated synchronisation primitives.
+ *
+ * std::mutex carries no thread-safety attributes under libstdc++, so
+ * Clang Thread Safety Analysis cannot reason about code that locks it
+ * directly. Mutex wraps std::mutex as an AFA_CAPABILITY and MutexLock
+ * replaces std::lock_guard as an AFA_SCOPED_CAPABILITY; together they
+ * let the analysis prove that AFA_GUARDED_BY data is only touched
+ * under its lock. Every mutex in concurrent simulator infrastructure
+ * (RunMetricsLog, ParallelExperimentRunner progress, the log sink)
+ * must be one of these — see DESIGN.md "Determinism & thread-safety
+ * contract".
+ */
+
+#ifndef AFA_CORE_SYNC_HH
+#define AFA_CORE_SYNC_HH
+
+#include <mutex>
+
+#include "core/thread_annotations.hh"
+
+namespace afa::sync {
+
+/**
+ * A std::mutex annotated as a thread-safety capability.
+ *
+ * Lock through MutexLock so acquisition and release stay visible to
+ * the analysis; the raw lock()/unlock() are annotated for the rare
+ * caller that needs manual control.
+ */
+class AFA_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() AFA_ACQUIRE() { impl.lock(); }
+    void unlock() AFA_RELEASE() { impl.unlock(); }
+    bool try_lock() AFA_TRY_ACQUIRE(true) { return impl.try_lock(); }
+
+  private:
+    std::mutex impl;
+};
+
+/**
+ * RAII lock for Mutex, annotated so the analysis knows the capability
+ * is held between construction and destruction (std::lock_guard
+ * itself is invisible to it).
+ */
+class AFA_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) AFA_ACQUIRE(mutex) : held(mutex)
+    {
+        held.lock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    ~MutexLock() AFA_RELEASE() { held.unlock(); }
+
+  private:
+    Mutex &held;
+};
+
+} // namespace afa::sync
+
+#endif // AFA_CORE_SYNC_HH

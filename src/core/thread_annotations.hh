@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotation macros.
+ *
+ * These macros attach compile-time lock-discipline contracts to
+ * mutexes, guarded data and locking functions. Under clang with
+ * -Wthread-safety the analysis proves, per translation unit, that
+ * every access to AFA_GUARDED_BY data happens with the named
+ * capability held; under GCC (or clang without the attribute) every
+ * macro expands to nothing, so annotated headers stay portable.
+ *
+ * The vocabulary follows the Clang Thread Safety Analysis docs (and
+ * abseil's thread_annotations.h, which popularised it):
+ *
+ *   AFA_CAPABILITY(x)    - the annotated type IS a lockable capability
+ *   AFA_SCOPED_CAPABILITY - RAII type that acquires/releases in
+ *                           ctor/dtor (std::lock_guard shape)
+ *   AFA_GUARDED_BY(m)    - data member readable/writable only with m
+ *   AFA_PT_GUARDED_BY(m) - pointee (not the pointer) guarded by m
+ *   AFA_REQUIRES(m)      - caller must hold m before calling
+ *   AFA_ACQUIRE(m)/AFA_RELEASE(m) - function takes/drops m
+ *   AFA_EXCLUDES(m)      - caller must NOT hold m (anti-deadlock)
+ *   AFA_RETURN_CAPABILITY(m) - accessor returning a reference to m
+ *   AFA_NO_THREAD_SAFETY_ANALYSIS - opt a function out (justify why!)
+ *
+ * See DESIGN.md "Determinism & thread-safety contract" for how to
+ * annotate a new mutex, and src/core/sync.hh for the annotated
+ * Mutex/MutexLock wrappers these macros are designed around.
+ */
+
+#ifndef AFA_CORE_THREAD_ANNOTATIONS_HH
+#define AFA_CORE_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__)
+#define AFA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AFA_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+#define AFA_CAPABILITY(x) AFA_THREAD_ANNOTATION(capability(x))
+
+#define AFA_SCOPED_CAPABILITY AFA_THREAD_ANNOTATION(scoped_lockable)
+
+#define AFA_GUARDED_BY(x) AFA_THREAD_ANNOTATION(guarded_by(x))
+
+#define AFA_PT_GUARDED_BY(x) AFA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define AFA_REQUIRES(...) \
+    AFA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define AFA_ACQUIRE(...) \
+    AFA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define AFA_RELEASE(...) \
+    AFA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define AFA_TRY_ACQUIRE(...) \
+    AFA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define AFA_EXCLUDES(...) \
+    AFA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define AFA_RETURN_CAPABILITY(x) \
+    AFA_THREAD_ANNOTATION(lock_returned(x))
+
+#define AFA_ACQUIRED_BEFORE(...) \
+    AFA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define AFA_ACQUIRED_AFTER(...) \
+    AFA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define AFA_NO_THREAD_SAFETY_ANALYSIS \
+    AFA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // AFA_CORE_THREAD_ANNOTATIONS_HH

@@ -676,7 +676,10 @@ Scheduler::tryPull(unsigned to_cpu)
         Task &t = task(tid);
         if (!inMask(t.params.affinity, to_cpu))
             continue;
-        dequeueFromRq(busiest, tid);
+        // dequeueFromRq erases the set node that vrt/tid alias, so
+        // copy the id out first and never touch the bindings after.
+        const unsigned pulled = tid;
+        dequeueFromRq(busiest, pulled);
         // Renormalise vruntime into the new queue's frame.
         t.vruntime = t.vruntime - from.minVruntime +
             cpus[to_cpu].minVruntime;
@@ -685,7 +688,7 @@ Scheduler::tryPull(unsigned to_cpu)
         trace("sched.balance",
               afa::sim::strfmt("pull %s cpu%u -> cpu%u",
                                t.params.name.c_str(), busiest, to_cpu));
-        enqueue(to_cpu, tid, false);
+        enqueue(to_cpu, pulled, false);
         if (cpus[to_cpu].current == kNoTask)
             dispatch(to_cpu);
         return true;

@@ -6,14 +6,38 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/sync.hh"
+#include "core/thread_annotations.hh"
+
 namespace afa::sim {
 
 namespace {
 
-// Atomics: worker threads of a parallel experiment sweep read
-// these concurrently with main-thread configuration.
-std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::atomic<bool> g_throw{false};
+// Global logger state and its concurrency contract
+// -------------------------------------------------
+//
+// Worker threads of a parallel experiment sweep call warn()/inform()/
+// debug() concurrently while the main thread may call setLogLevel()/
+// setThrowOnError(). Two pieces of shared state make that safe:
+//
+//  * g_level / g_throw are std::atomic with relaxed ordering. They
+//    are pure configuration flags: no other memory is published
+//    through them, so no acquire/release pairing is needed. A racing
+//    setLogLevel() may let an in-flight message through under the old
+//    verbosity, which is acceptable for logging. Crucially they never
+//    feed simulation state, so they cannot perturb results.
+//
+//  * g_sink serialises the actual stream writes so a message is
+//    emitted as one unbroken line even when several workers log at
+//    once (stdio locks per call, but a prefix+body+newline emitted as
+//    separate calls could interleave).
+//
+// Both are mutable process-globals, which detlint bans in simulator
+// code precisely because shared state is how nondeterminism leaks
+// into figures; logging is the audited exception since nothing here
+// flows back into the simulation.
+std::atomic<LogLevel> g_level{LogLevel::Warn}; // detlint:allow(mutable-static)
+std::atomic<bool> g_throw{false}; // detlint:allow(mutable-static)
 
 std::string
 vstrfmt(const char *fmt, va_list ap)
@@ -30,6 +54,30 @@ vstrfmt(const char *fmt, va_list ap)
     va_end(ap2);
     return std::string(buf.data(), static_cast<size_t>(n));
 }
+
+/**
+ * Serialises emission of formatted log lines.
+ *
+ * Holding one process-wide mutex per line keeps concurrent workers'
+ * messages whole without imposing any ordering between threads (the
+ * arrival order of lines from different workers is unspecified, their
+ * contents are not).
+ */
+class LogSink
+{
+  public:
+    void write(std::FILE *stream, const char *prefix,
+               const std::string &msg) AFA_EXCLUDES(mutex)
+    {
+        afa::sync::MutexLock lock(mutex);
+        std::fprintf(stream, "%s: %s\n", prefix, msg.c_str());
+    }
+
+  private:
+    afa::sync::Mutex mutex;
+};
+
+LogSink g_sink; // detlint:allow(mutable-static)
 
 } // namespace
 
@@ -60,7 +108,7 @@ panic(const char *fmt, ...)
     va_end(ap);
     if (g_throw.load(std::memory_order_relaxed))
         throw SimError{"panic: " + msg};
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    g_sink.write(stderr, "panic", msg);
     std::abort();
 }
 
@@ -73,7 +121,7 @@ fatal(const char *fmt, ...)
     va_end(ap);
     if (g_throw.load(std::memory_order_relaxed))
         throw SimError{"fatal: " + msg};
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    g_sink.write(stderr, "fatal", msg);
     std::exit(1);
 }
 
@@ -86,7 +134,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    g_sink.write(stderr, "warn", msg);
 }
 
 void
@@ -98,7 +146,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    g_sink.write(stdout, "info", msg);
 }
 
 void
@@ -110,7 +158,7 @@ debug(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stdout, "debug: %s\n", msg.c_str());
+    g_sink.write(stdout, "debug", msg);
 }
 
 std::string

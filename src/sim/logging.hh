@@ -9,6 +9,13 @@
  *
  * All functions accept printf-style format strings and are checked by
  * the compiler.
+ *
+ * Thread safety: every function here may be called concurrently from
+ * parallel-sweep workers. Verbosity/throw configuration is relaxed
+ * atomics (a racing setLogLevel() may let an in-flight message
+ * through under the old level; nothing tears), and emitted lines are
+ * serialised by a mutex so they never interleave mid-line. See the
+ * contract comment in logging.cc.
  */
 
 #ifndef AFA_SIM_LOGGING_HH

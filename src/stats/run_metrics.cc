@@ -17,7 +17,7 @@ RunMetrics::eventsPerSec() const
 void
 RunMetricsLog::reset()
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    afa::sync::MutexLock lock(mutex);
     runs.clear();
     numStarted = 0;
 }
@@ -25,28 +25,28 @@ RunMetricsLog::reset()
 void
 RunMetricsLog::record(RunMetrics metrics)
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    afa::sync::MutexLock lock(mutex);
     runs.push_back(std::move(metrics));
 }
 
 void
 RunMetricsLog::noteStarted()
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    afa::sync::MutexLock lock(mutex);
     ++numStarted;
 }
 
 std::size_t
 RunMetricsLog::started() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    afa::sync::MutexLock lock(mutex);
     return numStarted;
 }
 
 std::size_t
 RunMetricsLog::finished() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    afa::sync::MutexLock lock(mutex);
     return runs.size();
 }
 
@@ -55,7 +55,7 @@ RunMetricsLog::snapshot() const
 {
     std::vector<RunMetrics> copy;
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        afa::sync::MutexLock lock(mutex);
         copy = runs;
     }
     std::sort(copy.begin(), copy.end(),
@@ -68,7 +68,7 @@ RunMetricsLog::snapshot() const
 std::uint64_t
 RunMetricsLog::totalEvents() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    afa::sync::MutexLock lock(mutex);
     std::uint64_t total = 0;
     for (const RunMetrics &m : runs)
         total += m.events;
@@ -78,7 +78,7 @@ RunMetricsLog::totalEvents() const
 double
 RunMetricsLog::totalWallSeconds() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
+    afa::sync::MutexLock lock(mutex);
     double total = 0.0;
     for (const RunMetrics &m : runs)
         total += m.wallSeconds;

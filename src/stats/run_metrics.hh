@@ -13,10 +13,11 @@
 #define AFA_STATS_RUN_METRICS_HH
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.hh"
+#include "core/thread_annotations.hh"
 #include "stats/table.hh"
 
 namespace afa::stats {
@@ -78,9 +79,9 @@ class RunMetricsLog
                        unsigned jobs) const;
 
   private:
-    mutable std::mutex mutex;
-    std::vector<RunMetrics> runs;
-    std::size_t numStarted = 0;
+    mutable afa::sync::Mutex mutex;
+    std::vector<RunMetrics> runs AFA_GUARDED_BY(mutex);
+    std::size_t numStarted AFA_GUARDED_BY(mutex) = 0;
 };
 
 } // namespace afa::stats

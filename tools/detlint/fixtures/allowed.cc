@@ -1,0 +1,28 @@
+// Fixture: every banned construct here carries a detlint:allow escape
+// (same line or the line above), so the file must lint clean.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+// Justification: wall time used for progress display only, never fed
+// into simulation state.
+// detlint:allow(wall-clock)
+static_assert(true, "");
+
+double
+progressSeconds()
+{
+    auto t = std::chrono::steady_clock::now(); // detlint:allow(wall-clock)
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// Justification: audited configuration flag, never feeds sim state.
+std::atomic<int> g_verbosity{0}; // detlint:allow(mutable-static)
+
+int
+legacyShim()
+{
+    // Justification: exercising the multi-rule spelling.
+    // detlint:allow(rand, wall-clock)
+    return std::rand() + static_cast<int>(time(nullptr));
+}

@@ -1,0 +1,38 @@
+// Fixture: mutable namespace-scope state must trigger
+// `mutable-static` (with or without the `static` keyword — both have
+// static storage duration).
+#include <atomic>
+#include <cstdint>
+
+static int g_callCount = 0;
+
+std::uint64_t g_lastSeed = 0;
+
+namespace {
+
+std::atomic<bool> g_initialised{false};
+
+double g_drift;
+
+} // namespace
+
+// Constants and functions must NOT fire.
+static const int kTableSize = 64;
+constexpr double kScale = 1.5;
+
+static int
+bumpCounter()
+{
+    // Function-local state is out of scope for this rule (reviewed
+    // case by case instead).
+    return ++g_callCount;
+}
+
+int
+useAll()
+{
+    g_lastSeed += kTableSize;
+    g_initialised.store(true);
+    g_drift += kScale;
+    return bumpCounter();
+}

@@ -1,0 +1,11 @@
+// Fixture: every line here must trigger the `rand` rule.
+#include <cstdlib>
+
+int
+noisyLatency()
+{
+    std::srand(42);
+    int jitter = std::rand() % 100;
+    int more = rand() % 7;
+    return jitter + more;
+}

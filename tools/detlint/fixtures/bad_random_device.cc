@@ -1,0 +1,9 @@
+// Fixture: hardware entropy must trigger the `random-device` rule.
+#include <random>
+
+unsigned
+entropySeed()
+{
+    std::random_device rd;
+    return rd();
+}

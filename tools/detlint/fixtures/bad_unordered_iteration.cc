@@ -1,0 +1,32 @@
+// Fixture: iterating unordered containers must trigger
+// `unordered-iteration`.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct DieState
+{
+    std::unordered_map<std::uint64_t, int> inFlight;
+};
+
+int
+orderSensitive(const DieState &state)
+{
+    std::unordered_set<std::string> seen;
+    int total = 0;
+    for (const auto &entry : state.inFlight)
+        total += entry.second;
+    for (const auto &name : seen)
+        total += static_cast<int>(name.size());
+    auto it = seen.begin();
+    (void)it;
+    return total;
+}
+
+// Lookup (not iteration) is order-independent: this must NOT fire.
+bool
+lookupOnly(const DieState &state, std::uint64_t id)
+{
+    return state.inFlight.find(id) != state.inFlight.end();
+}

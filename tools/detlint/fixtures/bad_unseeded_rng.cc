@@ -1,0 +1,20 @@
+// Fixture: default-constructed engines must trigger `unseeded-rng`.
+#include <random>
+
+int
+defaultEngines()
+{
+    std::mt19937 gen;
+    std::mt19937_64 gen64{};
+    std::default_random_engine fallback();
+    std::minstd_rand lcg;
+    return static_cast<int>(gen() + gen64() + lcg());
+}
+
+// Seeding from the experiment seed is fine: this must NOT fire.
+unsigned
+seededEngine(unsigned seed)
+{
+    std::mt19937 gen(seed);
+    return gen();
+}

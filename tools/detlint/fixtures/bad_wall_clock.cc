@@ -1,0 +1,21 @@
+// Fixture: host-time reads that must trigger the `wall-clock` rule.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long
+hostTimeLeaks()
+{
+    auto a = std::chrono::steady_clock::now();
+    auto b = std::chrono::system_clock::now();
+    auto c = std::chrono::high_resolution_clock::now();
+    std::time_t t = time(nullptr);
+    timeval tv;
+    gettimeofday(&tv, nullptr);
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    (void)a;
+    (void)b;
+    (void)c;
+    return static_cast<long>(t) + tv.tv_sec + ts.tv_sec;
+}

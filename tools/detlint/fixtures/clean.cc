@@ -1,0 +1,52 @@
+// Fixture: idiomatic simulator code that must lint clean — seeded
+// randomness, sim-time only, ordered containers, constant globals.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ULL;
+
+const std::map<std::string, int> kLatencyClasses = {
+    {"read", 1},
+    {"write", 2},
+};
+
+// Comments may mention std::rand(), time(nullptr) or
+// steady_clock::now() without tripping the linter, and so may
+// strings:
+const char *kBanner = "no rand() or clock() here";
+
+std::uint64_t
+splitmix(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+struct Rng
+{
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+    std::uint64_t next() { return splitmix(state); }
+    std::uint64_t state;
+};
+
+std::uint64_t
+deterministicDraws(std::uint64_t seed)
+{
+    Rng rng(seed == 0 ? kDefaultSeed : seed);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 8; ++i)
+        draws.push_back(rng.next());
+    std::uint64_t total = 0;
+    for (const auto &entry : kLatencyClasses)
+        total += static_cast<std::uint64_t>(entry.second);
+    for (std::uint64_t d : draws)
+        total += d;
+    return total + static_cast<std::uint64_t>(kBanner[0]);
+}
