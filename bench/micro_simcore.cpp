@@ -14,6 +14,7 @@
 #include "sim/random.hh"
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
+#include "stats/scatter_log.hh"
 
 namespace {
 
@@ -177,6 +178,63 @@ BM_FabricFourHopTransfer(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FabricFourHopTransfer);
+
+void
+BM_FabricSendUncontended(benchmark::State &state)
+{
+    // QD1 data return over the idle four-hop path: the fabric's
+    // single-event fast path (one delivery event, no chain lambdas).
+    afa::sim::Simulator sim(1);
+    afa::pcie::Fabric fabric(sim, "fabric");
+    auto topo = buildAfaTopology(fabric, {});
+    for (auto _ : state) {
+        bool done = false;
+        fabric.send(topo.ssds[0], topo.host, 4096, [&] { done = true; });
+        while (!done)
+            sim.runSteps(1);
+    }
+}
+BENCHMARK(BM_FabricSendUncontended);
+
+void
+BM_FabricSendContended(benchmark::State &state)
+{
+    // A burst of 8 data returns funnelling into the shared uplink:
+    // after the first packet the rest take the per-hop fallback, so
+    // this bounds the cost of the contended chain model. One
+    // iteration = 8 sends + drain.
+    afa::sim::Simulator sim(1);
+    afa::pcie::Fabric fabric(sim, "fabric");
+    auto topo = buildAfaTopology(fabric, {});
+    for (auto _ : state) {
+        unsigned pending = 8;
+        for (unsigned d = 0; d < 8; ++d)
+            fabric.send(topo.ssds[d * 8], topo.host, 4096,
+                        [&] { --pending; });
+        while (pending != 0)
+            sim.runSteps(1);
+    }
+}
+BENCHMARK(BM_FabricSendContended);
+
+void
+BM_ScatterLogRecord(benchmark::State &state)
+{
+    afa::stats::ScatterLog log(1u << 20);
+    afa::sim::Rng rng(42);
+    afa::sim::Tick when = 0;
+    for (auto _ : state) {
+        if (log.size() == (1u << 20))
+            log.clear();
+        when += 10000;
+        log.record(when,
+                   static_cast<afa::sim::Tick>(
+                       rng.lognormal(90000.0, 0.3)),
+                   static_cast<std::uint32_t>(when >> 14 & 31));
+    }
+    benchmark::DoNotOptimize(log.size());
+}
+BENCHMARK(BM_ScatterLogRecord);
 
 } // namespace
 

@@ -1,5 +1,6 @@
 #include "pcie/fabric.hh"
 
+#include <cassert>
 #include <deque>
 
 #include "sim/logging.hh"
@@ -42,6 +43,14 @@ Fabric::checkNode(NodeId id) const
 }
 
 void
+Fabric::fatalNoRoute(NodeId at_node, NodeId dst) const
+{
+    afa::sim::fatal("fabric %s: no route %s -> %s", name().c_str(),
+                    nodeInfo[at_node].name.c_str(),
+                    nodeInfo[dst].name.c_str());
+}
+
+void
 Fabric::connect(NodeId a, NodeId b, const LinkParams &params)
 {
     if (isFinalized)
@@ -64,7 +73,7 @@ void
 Fabric::finalize()
 {
     const std::size_t n = nodeInfo.size();
-    nextHop.assign(n, std::vector<NodeId>(n, kInvalidNode));
+    nextHopFlat.assign(n * n, kInvalidNode);
     // BFS from every destination, recording each node's parent-ward
     // neighbour (first hop toward dst).
     for (NodeId dst = 0; dst < n; ++dst) {
@@ -85,7 +94,32 @@ Fabric::finalize()
             }
         }
         for (NodeId src = 0; src < n; ++src)
-            nextHop[src][dst] = toward[src];
+            nextHopFlat[pathIndex(src, dst)] = toward[src];
+    }
+    // Precompile every route into packed hop records, so send() never
+    // walks adjacency lists or the next-hop table per packet.
+    pathHops.clear();
+    pathOffset.assign(n * n + 1, 0);
+    for (NodeId src = 0; src < n; ++src) {
+        for (NodeId dst = 0; dst < n; ++dst) {
+            if (src != dst) {
+                NodeId at_node = src;
+                while (at_node != dst) {
+                    NodeId next = nextHopFlat[pathIndex(at_node, dst)];
+                    if (next == kInvalidNode)
+                        break; // unreachable: leave the route empty
+                    Tick fwd = next == dst
+                        ? 0 : nodeInfo[next].forwardLatency;
+                    pathHops.push_back(PathHop{
+                        static_cast<std::uint32_t>(
+                            linkIndex(at_node, next)),
+                        next, fwd});
+                    at_node = next;
+                }
+            }
+            pathOffset[pathIndex(src, dst) + 1] =
+                static_cast<std::uint32_t>(pathHops.size());
+        }
     }
     isFinalized = true;
 }
@@ -121,21 +155,25 @@ void
 Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
             EventFn on_delivered)
 {
-    NodeId next = nextHop[at_node][dst];
-    if (next == kInvalidNode)
-        afa::sim::fatal("fabric %s: no route %s -> %s", name().c_str(),
-                        nodeInfo[at_node].name.c_str(),
-                        nodeInfo[dst].name.c_str());
-    Link &link = links[linkIndex(at_node, next)];
+    const std::size_t base = pathIndex(at_node, dst);
+    if (pathOffset[base] == pathOffset[base + 1])
+        fatalNoRoute(at_node, dst);
+    const PathHop &ph = pathHops[pathOffset[base]];
+    assert(ph.link < links.size() &&
+           "precompiled link index out of range");
+    assert(ph.to == nextHopFlat[base] &&
+           "precompiled route disagrees with next-hop table");
+    Link &link = links[ph.link];
     Tick enter = now();
     Tick arrive = link.transfer(enter, bytes);
     fabricStats.totalQueueDelay += (arrive - enter) -
         link.serialization(bytes) - link.params().propagation;
+    NodeId next = ph.to;
     if (next == dst) {
         at(arrive, std::move(on_delivered));
         return;
     }
-    Tick forwarded = arrive + nodeInfo[next].forwardLatency;
+    Tick forwarded = arrive + ph.forwardAfter;
     at(forwarded,
        [this, next, dst, bytes, cb = std::move(on_delivered)]() mutable {
            hop(next, dst, bytes, std::move(cb));
@@ -157,7 +195,67 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
         after(0, std::move(on_delivered));
         return;
     }
-    hop(src, dst, bytes, std::move(on_delivered));
+    const std::size_t base = pathIndex(src, dst);
+    const std::uint32_t first = pathOffset[base];
+    const std::uint32_t last = pathOffset[base + 1];
+    if (first == last)
+        fatalNoRoute(src, dst);
+    // The fast path is exact only while the busy horizons describe
+    // ALL in-flight traffic; a chain packet's future hops are not in
+    // the horizons yet, so reserving ahead of one could steal the
+    // FIFO slot the reference model gives it (see DESIGN.md
+    // "Events-per-IO budget").
+    if (fastPathEnabled && chainInFlight == 0) {
+        // Walk the precompiled route, reserving each link at the
+        // packet's computed entry time while the path stays
+        // uncontended. Entry times are exactly what the per-hop chain
+        // would observe, so occupy() advances each busy cursor to the
+        // same horizon and the same arrival tick falls out — with
+        // zero intermediate events.
+        Tick when = now();
+        for (std::uint32_t i = first; /**/; ++i) {
+            if (i == last) {
+                ++fabricStats.fastPathPackets;
+                at(when, std::move(on_delivered));
+                return;
+            }
+            const PathHop &ph = pathHops[i];
+            Link &link = links[ph.link];
+            if (!link.freeAt(when)) {
+                // First contended link: hand the packet to the
+                // per-hop model from this node onward, at the tick it
+                // would have entered the link. transfer() re-reads
+                // the busy horizon when the event fires, so queueing
+                // is accounted exactly as in the reference model.
+                if (i == first)
+                    break;
+                NodeId at_node = pathHops[i - 1].to;
+                at(when,
+                   [this, at_node, dst, bytes,
+                    cb = chainWrap(std::move(on_delivered))]() mutable {
+                       hop(at_node, dst, bytes, std::move(cb));
+                   });
+                return;
+            }
+            when = link.occupy(when, bytes) + ph.forwardAfter;
+        }
+    }
+    hop(src, dst, bytes, chainWrap(std::move(on_delivered)));
+}
+
+/**
+ * Mark a packet as traversing in per-hop chain mode and arrange for
+ * the mark to drop when its delivery callback fires.
+ */
+EventFn
+Fabric::chainWrap(EventFn on_delivered)
+{
+    ++fabricStats.fallbackPackets;
+    ++chainInFlight;
+    return EventFn([this, cb = std::move(on_delivered)]() mutable {
+        --chainInFlight;
+        cb();
+    });
 }
 
 Tick
@@ -167,20 +265,21 @@ Fabric::unloadedLatency(NodeId src, NodeId dst,
     if (!isFinalized)
         afa::sim::fatal("fabric %s: unloadedLatency before finalize()",
                         name().c_str());
+    checkNode(src);
+    checkNode(dst);
+    if (src == dst)
+        return 0;
+    const std::size_t base = pathIndex(src, dst);
+    const std::uint32_t first = pathOffset[base];
+    const std::uint32_t last = pathOffset[base + 1];
+    if (first == last)
+        fatalNoRoute(src, dst);
     Tick total = 0;
-    NodeId at_node = src;
-    while (at_node != dst) {
-        NodeId next = nextHop[at_node][dst];
-        if (next == kInvalidNode)
-            afa::sim::fatal("fabric %s: no route %s -> %s",
-                            name().c_str(),
-                            nodeInfo[at_node].name.c_str(),
-                            nodeInfo[dst].name.c_str());
-        const Link &link = links[linkIndex(at_node, next)];
-        total += link.serialization(bytes) + link.params().propagation;
-        if (next != dst)
-            total += nodeInfo[next].forwardLatency;
-        at_node = next;
+    for (std::uint32_t i = first; i != last; ++i) {
+        const PathHop &ph = pathHops[i];
+        const Link &link = links[ph.link];
+        total += link.serialization(bytes) + link.params().propagation +
+            ph.forwardAfter;
     }
     return total;
 }
@@ -191,16 +290,10 @@ Fabric::hopCount(NodeId src, NodeId dst) const
     if (!isFinalized)
         afa::sim::fatal("fabric %s: hopCount before finalize()",
                         name().c_str());
-    unsigned hops = 0;
-    NodeId at_node = src;
-    while (at_node != dst) {
-        NodeId next = nextHop[at_node][dst];
-        if (next == kInvalidNode)
-            return 0;
-        ++hops;
-        at_node = next;
-    }
-    return hops;
+    checkNode(src);
+    checkNode(dst);
+    const std::size_t base = pathIndex(src, dst);
+    return pathOffset[base + 1] - pathOffset[base];
 }
 
 } // namespace afa::pcie

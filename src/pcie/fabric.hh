@@ -3,9 +3,15 @@
  * The PCIe switch fabric: nodes (endpoints and store-and-forward
  * switches) joined by Links, with shortest-path routing.
  *
- * A send() walks the precomputed route hop by hop; each hop is one
- * simulator event, so contention on any link or switch naturally
- * delays everything behind it.
+ * finalize() precompiles, per (src, dst), the full hop sequence as
+ * packed link-index + forward-latency records. When every link on the
+ * path is free at the packet's computed entry time (the dominant case
+ * at QD1), send() advances all link busy cursors in one pass and
+ * schedules a single delivery event at the arrival tick. From the
+ * first contended link onward it falls back to the per-hop event
+ * model, so contention on any link or switch naturally delays
+ * everything behind it, tick-for-tick as before. See DESIGN.md
+ * "Events-per-IO budget" for the equivalence contract.
  */
 
 #ifndef AFA_PCIE_FABRIC_HH
@@ -31,6 +37,11 @@ struct FabricStats
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
     Tick totalQueueDelay = 0;
+    /** Packets delivered by the single-event uncontended fast path. */
+    std::uint64_t fastPathPackets = 0;
+    /** Packets that took the per-hop event model (contention hit, or
+     *  the fast path disabled). Self-sends count for neither. */
+    std::uint64_t fallbackPackets = 0;
 };
 
 /**
@@ -89,8 +100,25 @@ class Fabric : public afa::sim::SimObject
     /** Directed link between adjacent nodes (for stats); null if none. */
     const Link *linkBetween(NodeId from, NodeId to) const;
 
+    /** Number of directed links (two per connect()). */
+    std::size_t linkCount() const { return links.size(); }
+
+    /** Directed link by construction index (for stats iteration). */
+    const Link &linkAt(std::size_t index) const { return links[index]; }
+
     /** Fabric-wide stats. */
     const FabricStats &stats() const { return fabricStats; }
+
+    /**
+     * Enable/disable the uncontended single-event fast path (on by
+     * default). Disabling forces every packet through the per-hop
+     * event model — the reference behaviour the fast path must match
+     * tick-for-tick; used by the differential tests.
+     */
+    void setFastPath(bool enabled) { fastPathEnabled = enabled; }
+
+    /** True while the uncontended fast path is enabled. */
+    bool fastPath() const { return fastPathEnabled; }
 
     /** Name of a node. */
     const std::string &nodeName(NodeId id) const;
@@ -106,17 +134,50 @@ class Fabric : public afa::sim::SimObject
         std::vector<std::pair<NodeId, std::size_t>> out;
     };
 
+    /** One precompiled hop of a (src, dst) route. */
+    struct PathHop
+    {
+        std::uint32_t link;  ///< index into links
+        NodeId to;           ///< node at the far end of the link
+        Tick forwardAfter;   ///< store-and-forward latency charged
+                             ///< after this hop (0 on the final hop)
+    };
+
     std::vector<NodeInfo> nodeInfo;
     std::vector<Link> links;
-    // nextHop[src][dst] = neighbour on the shortest path.
-    std::vector<std::vector<NodeId>> nextHop;
+    // Dense n*n next-hop table: nextHopFlat[src * n + dst] is the
+    // neighbour on the shortest path (kInvalidNode if unreachable).
+    std::vector<NodeId> nextHopFlat;
+    // Precompiled routes: pathHops[pathOffset[src * n + dst] ..
+    // pathOffset[src * n + dst + 1]) is the full hop sequence.
+    std::vector<PathHop> pathHops;
+    std::vector<std::uint32_t> pathOffset;
     bool isFinalized;
+    bool fastPathEnabled = true;
+    /**
+     * Packets currently traversing via per-hop chain events. Their
+     * future link occupancy is NOT yet reflected in the link busy
+     * horizons, so while any are in flight the fast path must not
+     * reserve ahead of them (it could steal a FIFO slot the reference
+     * model would have given the chain packet). Fast-path packets by
+     * contrast reserve their whole path at send time, so horizons
+     * fully describe them and they never need the guard.
+     */
+    std::uint64_t chainInFlight = 0;
     FabricStats fabricStats;
+
+    std::size_t
+    pathIndex(NodeId src, NodeId dst) const
+    {
+        return static_cast<std::size_t>(src) * nodeInfo.size() + dst;
+    }
 
     void hop(NodeId at, NodeId dst, std::uint32_t bytes,
              afa::sim::EventFn on_delivered);
+    afa::sim::EventFn chainWrap(afa::sim::EventFn on_delivered);
     std::size_t linkIndex(NodeId from, NodeId to) const;
     void checkNode(NodeId id) const;
+    [[noreturn]] void fatalNoRoute(NodeId at, NodeId dst) const;
 };
 
 } // namespace afa::pcie

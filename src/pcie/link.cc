@@ -1,6 +1,7 @@
 #include "pcie/link.hh"
 
 #include <algorithm>
+#include <cassert>
 
 #include "sim/logging.hh"
 
@@ -19,7 +20,8 @@ LinkParams::bytesPerSec()  const
 }
 
 Link::Link(std::string link_name, const LinkParams &params)
-    : linkName(std::move(link_name)), linkParams(params), busyHorizon(0),
+    : linkName(std::move(link_name)), linkParams(params),
+      cachedBytesPerSec(params.bytesPerSec()), busyHorizon(0),
       totalBytes(0), totalTransfers(0), totalBusy(0), totalQueueDelay(0)
 {
     if (params.lanes == 0 || params.lanes > 16)
@@ -30,7 +32,7 @@ Link::Link(std::string link_name, const LinkParams &params)
 Tick
 Link::serialization(std::uint32_t bytes) const
 {
-    double secs = static_cast<double>(bytes) / linkParams.bytesPerSec();
+    double secs = static_cast<double>(bytes) / cachedBytesPerSec;
     return static_cast<Tick>(secs * 1e9);
 }
 
@@ -45,6 +47,13 @@ Link::transfer(Tick now, std::uint32_t bytes)
     totalBusy += ser;
     totalQueueDelay += start - now;
     return busyHorizon + linkParams.propagation;
+}
+
+Tick
+Link::occupy(Tick entry, std::uint32_t bytes)
+{
+    assert(freeAt(entry) && "occupy() on a busy link");
+    return transfer(entry, bytes);
 }
 
 } // namespace afa::pcie

@@ -54,6 +54,22 @@ class Link
      */
     Tick transfer(Tick now, std::uint32_t bytes);
 
+    /**
+     * True when a transfer entering at @p when would start serialising
+     * immediately (no queueing behind the busy horizon).
+     */
+    bool freeAt(Tick when) const { return busyHorizon <= when; }
+
+    /**
+     * Reserve the link for a transfer that is known to start
+     * serialising exactly at @p entry (precondition: freeAt(entry)).
+     *
+     * Same accounting and same returned arrival tick as
+     * transfer(entry, bytes); the separate name documents the fabric
+     * fast path's contract that no queueing occurs.
+     */
+    Tick occupy(Tick entry, std::uint32_t bytes);
+
     /** Serialization time for @p bytes without queueing. */
     Tick serialization(std::uint32_t bytes) const;
 
@@ -78,6 +94,7 @@ class Link
   private:
     std::string linkName;
     LinkParams linkParams;
+    double cachedBytesPerSec; ///< linkParams.bytesPerSec(), hoisted
     Tick busyHorizon;
     std::uint64_t totalBytes;
     std::uint64_t totalTransfers;

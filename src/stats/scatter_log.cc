@@ -1,7 +1,7 @@
 #include "stats/scatter_log.hh"
 
 #include <algorithm>
-#include <sstream>
+#include <cstdio>
 
 #include "sim/logging.hh"
 
@@ -15,6 +15,12 @@ ScatterLog::record(Tick when, Tick latency, std::uint32_t device)
         ++nextIndex;
         return;
     }
+    // Reserve the full capacity on the first sample so recording never
+    // reallocates mid-run (the log is bounded anyway). Deferred to
+    // first use because every ExperimentResult embeds an idle
+    // ScatterLog whose default capacity would cost 256 MiB eagerly.
+    if (buf.empty() && buf.capacity() < maxSamples)
+        buf.reserve(maxSamples);
     buf.push_back(Sample{nextIndex++, when, latency, device});
 }
 
@@ -67,13 +73,25 @@ ScatterLog::toText(std::size_t stride) const
 {
     if (stride == 0)
         afa::sim::fatal("ScatterLog::toText: stride must be > 0");
-    std::ostringstream os;
+    std::string out;
+    // ~32 bytes covers a typical "index latency nvmeN" line; the
+    // string grows past it only for extreme indices/latencies.
+    out.reserve(32 * (buf.size() / stride + 1));
+    char line[96];
     for (std::size_t i = 0; i < buf.size(); i += stride) {
         const Sample &s = buf[i];
-        os << s.index << " " << afa::sim::toUsec(s.latency) << " nvme"
-           << s.device << "\n";
+        // %g matches the std::ostream default double format the
+        // scatter series was originally emitted with (fig10 output
+        // must stay byte-identical).
+        int len = std::snprintf(line, sizeof(line),
+                                "%llu %g nvme%u\n",
+                                static_cast<unsigned long long>(s.index),
+                                afa::sim::toUsec(s.latency), s.device);
+        if (len > 0)
+            out.append(line, static_cast<std::size_t>(
+                                 std::min<int>(len, sizeof(line) - 1)));
     }
-    return os.str();
+    return out;
 }
 
 void

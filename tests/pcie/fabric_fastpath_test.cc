@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Differential tests for the fabric transit fast path: the same
+ * randomized traffic is driven through a fast-path fabric and a
+ * reference fabric forced onto the per-hop event model
+ * (setFastPath(false)), and every observable — delivery ticks,
+ * fabric-wide stats, per-link stats — must match exactly.
+ *
+ * Plus regression tests for the send() edge cases (self-send,
+ * unreachable destination) under both models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pcie/afa_topology.hh"
+#include "pcie/fabric.hh"
+#include "pcie/link.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulator.hh"
+
+using namespace afa::pcie;
+using afa::sim::Rng;
+using afa::sim::Simulator;
+using afa::sim::Tick;
+using afa::sim::usec;
+
+namespace {
+
+/** One scripted packet of the differential workload. */
+struct SendOp
+{
+    Tick when;
+    NodeId src;
+    NodeId dst;
+    std::uint32_t bytes;
+};
+
+/**
+ * Replay @p ops against @p fabric and return the delivery tick of
+ * every packet, in op order.
+ */
+std::vector<Tick>
+replay(Simulator &sim, Fabric &fabric, const std::vector<SendOp> &ops)
+{
+    std::vector<Tick> delivered(ops.size(), 0);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const SendOp &op = ops[i];
+        sim.scheduleAt(op.when, [&sim, &fabric, &delivered, op, i] {
+            fabric.send(op.src, op.dst, op.bytes,
+                        [&sim, &delivered, i] {
+                            delivered[i] = sim.now();
+                        });
+        });
+    }
+    sim.run();
+    return delivered;
+}
+
+/** Assert fast-path and reference fabrics observed identical traffic. */
+void
+expectSameObservables(const Fabric &fast, const Fabric &ref)
+{
+    EXPECT_EQ(fast.stats().packets, ref.stats().packets);
+    EXPECT_EQ(fast.stats().bytes, ref.stats().bytes);
+    EXPECT_EQ(fast.stats().totalQueueDelay, ref.stats().totalQueueDelay);
+    ASSERT_EQ(fast.linkCount(), ref.linkCount());
+    for (std::size_t i = 0; i < fast.linkCount(); ++i) {
+        const Link &a = fast.linkAt(i);
+        const Link &b = ref.linkAt(i);
+        EXPECT_EQ(a.bytesCarried(), b.bytesCarried()) << a.name();
+        EXPECT_EQ(a.transfers(), b.transfers()) << a.name();
+        EXPECT_EQ(a.busyTime(), b.busyTime()) << a.name();
+        EXPECT_EQ(a.queueDelay(), b.queueDelay()) << a.name();
+        EXPECT_EQ(a.busyUntil(), b.busyUntil()) << a.name();
+    }
+}
+
+class FabricFastPathTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+};
+
+TEST_F(FabricFastPathTest, AfaTopologyRandomTrafficMatchesReference)
+{
+    // Host<->SSD traffic over the paper's two-level switch tree:
+    // bursts force queueing on the shared carrier/leaf/root links,
+    // quiet gaps keep a large uncontended share, so both the
+    // single-event fast path and the per-hop fallback are exercised.
+    AfaTopologyParams params;
+    params.ssds = 16;
+    Simulator fast_sim(1), ref_sim(1);
+    Fabric fast(fast_sim, "fast"), ref(ref_sim, "ref");
+    auto fast_topo = buildAfaTopology(fast, params);
+    auto ref_topo = buildAfaTopology(ref, params);
+    ref.setFastPath(false);
+
+    Rng rng(1234);
+    std::vector<SendOp> ops;
+    Tick when = 0;
+    for (int burst = 0; burst < 200; ++burst) {
+        // Alternate dense bursts (heavy uplink contention) with
+        // spaced-out singletons (uncontended fast-path deliveries).
+        bool dense = rng.uniformInt(0, 1) == 0;
+        unsigned count = dense
+            ? static_cast<unsigned>(rng.uniformInt(4, 12)) : 1;
+        when += dense ? rng.uniformInt(0, 500)
+                      : usec(5) + rng.uniformInt(0, 2000);
+        for (unsigned p = 0; p < count; ++p) {
+            unsigned dev = static_cast<unsigned>(
+                rng.uniformInt(0, params.ssds - 1));
+            bool up = rng.uniformInt(0, 2) != 0; // mostly data returns
+            if (up)
+                ops.push_back(SendOp{when, fast_topo.ssds[dev],
+                                     fast_topo.host, 4096 + 16});
+            else
+                ops.push_back(
+                    SendOp{when, fast_topo.host, fast_topo.ssds[dev], 64});
+        }
+    }
+    // The two fabrics are built identically, so node ids coincide.
+    ASSERT_EQ(fast_topo.host, ref_topo.host);
+    ASSERT_EQ(fast_topo.ssds, ref_topo.ssds);
+
+    auto fast_ticks = replay(fast_sim, fast, ops);
+    auto ref_ticks = replay(ref_sim, ref, ops);
+
+    ASSERT_EQ(fast_ticks.size(), ref_ticks.size());
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        EXPECT_EQ(fast_ticks[i], ref_ticks[i]) << "packet " << i;
+    expectSameObservables(fast, ref);
+
+    // The workload must genuinely exercise both delivery models.
+    EXPECT_GT(fast.stats().fastPathPackets, 0u);
+    EXPECT_GT(fast.stats().fallbackPackets, 0u);
+    EXPECT_EQ(ref.stats().fastPathPackets, 0u);
+    EXPECT_EQ(ref.stats().fallbackPackets, ref.stats().packets);
+    // Contention must actually have occurred, or the equivalence
+    // check proves nothing about queue-delay accounting.
+    EXPECT_GT(fast.stats().totalQueueDelay, 0u);
+}
+
+TEST_F(FabricFastPathTest, DeepLineTopologyBackToBackMatchesReference)
+{
+    // A 5-hop line a - s1 - s2 - s3 - s4 - b with back-to-back sends:
+    // every packet after the first hits contention at hop 0 or deeper,
+    // covering the "fall back mid-path at the first contended link"
+    // branch repeatedly.
+    auto build = [](Fabric &f, std::vector<NodeId> &nodes) {
+        nodes.push_back(f.addEndpoint("a"));
+        for (int s = 1; s <= 4; ++s)
+            nodes.push_back(
+                f.addSwitch("s" + std::to_string(s), 150 * s));
+        nodes.push_back(f.addEndpoint("b"));
+        for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
+            f.connect(nodes[i], nodes[i + 1],
+                      LinkParams{static_cast<unsigned>(1 + i % 4),
+                                 Gen::Gen3, 40 + 10 * i});
+    };
+    Simulator fast_sim(1), ref_sim(1);
+    Fabric fast(fast_sim, "fast"), ref(ref_sim, "ref");
+    std::vector<NodeId> fast_nodes, ref_nodes;
+    build(fast, fast_nodes);
+    build(ref, ref_nodes);
+    fast.finalize();
+    ref.finalize();
+    ref.setFastPath(false);
+
+    Rng rng(99);
+    std::vector<SendOp> ops;
+    Tick when = 0;
+    for (int i = 0; i < 300; ++i) {
+        when += rng.uniformInt(0, 900);
+        ops.push_back(SendOp{when, fast_nodes.front(),
+                             fast_nodes.back(),
+                             static_cast<std::uint32_t>(
+                                 rng.uniformInt(64, 8192))});
+    }
+    auto fast_ticks = replay(fast_sim, fast, ops);
+    auto ref_ticks = replay(ref_sim, ref, ops);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        EXPECT_EQ(fast_ticks[i], ref_ticks[i]) << "packet " << i;
+    expectSameObservables(fast, ref);
+    EXPECT_GT(fast.stats().fastPathPackets, 0u);
+    EXPECT_GT(fast.stats().fallbackPackets, 0u);
+}
+
+TEST_F(FabricFastPathTest, MidPathContentionFallsBackAtSharedUplink)
+{
+    // Two devices with private first links funnel into one shared
+    // uplink. Simultaneous sends are both uncontended at hop 0, so the
+    // second packet must fall back mid-path (at the shared link), and
+    // the delivery gap must equal the uplink serialization — the same
+    // contract FabricTest.SharedUplinkContentionDelaysSecondFlow pins
+    // for the per-hop model.
+    Simulator sim(1);
+    Fabric f(sim, "f");
+    NodeId host = f.addEndpoint("host");
+    NodeId sw = f.addSwitch("sw", 300);
+    NodeId d0 = f.addEndpoint("d0");
+    NodeId d1 = f.addEndpoint("d1");
+    f.connect(host, sw, LinkParams{16, Gen::Gen3, 100});
+    f.connect(sw, d0, LinkParams{4, Gen::Gen3, 100});
+    f.connect(sw, d1, LinkParams{4, Gen::Gen3, 100});
+    f.finalize();
+    std::vector<Tick> arrivals;
+    f.send(d0, host, 4096, [&] { arrivals.push_back(sim.now()); });
+    f.send(d1, host, 4096, [&] { arrivals.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    const Link *up = f.linkBetween(sw, host);
+    EXPECT_EQ(arrivals[1] - arrivals[0], up->serialization(4096));
+    EXPECT_EQ(f.stats().fastPathPackets, 1u);
+    EXPECT_EQ(f.stats().fallbackPackets, 1u);
+    EXPECT_GT(f.stats().totalQueueDelay, 0u);
+}
+
+TEST_F(FabricFastPathTest, UncontendedSendMatchesUnloadedLatency)
+{
+    Simulator sim(1);
+    Fabric f(sim, "f");
+    auto topo = buildAfaTopology(f, AfaTopologyParams{});
+    Tick delivered = 0;
+    f.send(topo.ssds[5], topo.host, 4096, [&] { delivered = sim.now(); });
+    std::uint64_t events = sim.run();
+    EXPECT_EQ(delivered, f.unloadedLatency(topo.ssds[5], topo.host, 4096));
+    // The whole 4-hop transfer must cost exactly one delivery event.
+    EXPECT_EQ(events, 1u);
+    EXPECT_EQ(f.stats().fastPathPackets, 1u);
+    EXPECT_EQ(f.stats().totalQueueDelay, 0u);
+}
+
+TEST_F(FabricFastPathTest, SelfSendDeliversAtCurrentTickBothModels)
+{
+    for (bool enable_fast : {true, false}) {
+        Simulator sim(1);
+        Fabric f(sim, "f");
+        NodeId a = f.addEndpoint("a");
+        NodeId b = f.addEndpoint("b");
+        f.connect(a, b, LinkParams{4, Gen::Gen3, 100});
+        f.finalize();
+        f.setFastPath(enable_fast);
+        Tick delivered = afa::sim::kMaxTick;
+        sim.scheduleAt(usec(3), [&] {
+            f.send(a, a, 64, [&] { delivered = sim.now(); });
+        });
+        sim.run();
+        EXPECT_EQ(delivered, usec(3));
+        EXPECT_EQ(f.stats().packets, 1u);
+        EXPECT_EQ(f.stats().fastPathPackets, 0u);
+        EXPECT_EQ(f.stats().fallbackPackets, 0u);
+    }
+}
+
+TEST_F(FabricFastPathTest, UnreachableDestinationIsFatalBothModels)
+{
+    for (bool enable_fast : {true, false}) {
+        Simulator sim(1);
+        Fabric f(sim, "f");
+        NodeId a = f.addEndpoint("a");
+        NodeId b = f.addEndpoint("b");
+        NodeId island = f.addEndpoint("island");
+        f.connect(a, b, LinkParams{4, Gen::Gen3, 100});
+        f.finalize();
+        f.setFastPath(enable_fast);
+        EXPECT_THROW(f.send(a, island, 64, [] {}),
+                     afa::sim::SimError);
+        EXPECT_THROW(f.unloadedLatency(a, island, 64),
+                     afa::sim::SimError);
+        EXPECT_EQ(f.hopCount(a, island), 0u);
+    }
+}
+
+} // namespace
