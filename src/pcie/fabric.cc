@@ -121,6 +121,7 @@ Fabric::finalize()
                 static_cast<std::uint32_t>(pathHops.size());
         }
     }
+    linkResv.assign(links.size(), {});
     isFinalized = true;
 }
 
@@ -165,6 +166,15 @@ Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
            "precompiled route disagrees with next-hop table");
     Link &link = links[ph.link];
     Tick enter = now();
+    // Arrival-order FIFO: anything reserved on this link for a later
+    // start must yield to this packet (the reference model serves
+    // links strictly in arrival order; a pending reservation's start
+    // IS its owner's reference arrival).
+    {
+        const auto &resv = linkResv[ph.link];
+        if (!resv.empty() && resv.back().start > enter)
+            displaceEarlier(ph.link, enter);
+    }
     Tick arrive = link.transfer(enter, bytes);
     fabricStats.totalQueueDelay += (arrive - enter) -
         link.serialization(bytes) - link.params().propagation;
@@ -211,12 +221,28 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
         // uncontended. Entry times are exactly what the per-hop chain
         // would observe, so occupy() advances each busy cursor to the
         // same horizon and the same arrival tick falls out — with
-        // zero intermediate events.
+        // zero intermediate events. Every reservation past the first
+        // hop starts in the future; each is recorded in linkResv so
+        // that a packet reaching the link earlier can revoke it
+        // (displaceEarlier()).
         Tick when = now();
+        std::uint32_t rec_idx = kNoFlight;
         for (std::uint32_t i = first; /**/; ++i) {
             if (i == last) {
                 ++fabricStats.fastPathPackets;
-                at(when, std::move(on_delivered));
+                if (rec_idx == kNoFlight) {
+                    // Single-hop route: no future reservation exists,
+                    // so nothing could ever displace this delivery.
+                    at(when, std::move(on_delivered));
+                } else {
+                    FlightRecord &rec = flights[rec_idx];
+                    rec.cb = std::move(on_delivered);
+                    rec.fullWalk = true;
+                    rec.hopsWalked = last - first;
+                    rec.ev = at(when, [this, rec_idx] {
+                        completeFlight(rec_idx);
+                    });
+                }
                 return;
             }
             const PathHop &ph = pathHops[i];
@@ -227,20 +253,224 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
                 // would have entered the link. transfer() re-reads
                 // the busy horizon when the event fires, so queueing
                 // is accounted exactly as in the reference model.
+                // (If the horizon blocking us is itself a pending
+                // future reservation starting after `when`, we are
+                // the earlier entrant: hop() revokes it when the
+                // continuation fires at `when`.)
                 if (i == first)
                     break;
-                NodeId at_node = pathHops[i - 1].to;
-                at(when,
-                   [this, at_node, dst, bytes,
-                    cb = chainWrap(std::move(on_delivered))]() mutable {
-                       hop(at_node, dst, bytes, std::move(cb));
-                   });
+                if (rec_idx == kNoFlight) {
+                    // Only the first hop was occupied (it started at
+                    // send time, so it is not displaceable): a plain
+                    // chain continuation suffices.
+                    NodeId at_node = pathHops[i - 1].to;
+                    at(when,
+                       [this, at_node, dst, bytes,
+                        cb = chainWrap(std::move(on_delivered))]() mutable {
+                           hop(at_node, dst, bytes, std::move(cb));
+                       });
+                } else {
+                    // The walked prefix holds future reservations;
+                    // keep it revocable until the continuation fires.
+                    FlightRecord &rec = flights[rec_idx];
+                    rec.cb = chainWrap(std::move(on_delivered));
+                    rec.fullWalk = false;
+                    rec.hopsWalked = i - first;
+                    rec.ev = at(when, [this, rec_idx] {
+                        completeFlight(rec_idx);
+                    });
+                }
                 return;
+            }
+            Tick prev = link.busyUntil();
+            if (i != first) {
+                if (rec_idx == kNoFlight)
+                    rec_idx = allocFlight(first, dst, bytes);
+                linkResv[ph.link].push_back(
+                    Reservation{when, prev, rec_idx, i - first});
             }
             when = link.occupy(when, bytes) + ph.forwardAfter;
         }
     }
     hop(src, dst, bytes, chainWrap(std::move(on_delivered)));
+}
+
+std::uint32_t
+Fabric::allocFlight(std::uint32_t path_first, NodeId dst,
+                    std::uint32_t bytes)
+{
+    std::uint32_t idx;
+    if (!freeFlights.empty()) {
+        idx = freeFlights.back();
+        freeFlights.pop_back();
+    } else {
+        flights.emplace_back();
+        idx = static_cast<std::uint32_t>(flights.size() - 1);
+    }
+    FlightRecord &rec = flights[idx];
+    rec.pathFirst = path_first;
+    rec.dst = dst;
+    rec.bytes = bytes;
+    rec.active = true;
+    rec.displaced = false;
+    return idx;
+}
+
+void
+Fabric::freeFlight(std::uint32_t idx)
+{
+    FlightRecord &rec = flights[idx];
+    rec.cb = nullptr;
+    rec.ev = afa::sim::EventHandle{};
+    rec.active = false;
+    freeFlights.push_back(idx);
+}
+
+/**
+ * A flight record's event fired: all of its reservations have started
+ * (the event fires no earlier than the last entry tick), so drop them
+ * and either deliver (full walk) or re-enter the per-hop model after
+ * the walked prefix (mid-path fallback).
+ */
+void
+Fabric::completeFlight(std::uint32_t idx)
+{
+    FlightRecord &rec = flights[idx];
+    assert(rec.active && "completeFlight() on a free record");
+    for (std::uint32_t h = 1; h < rec.hopsWalked; ++h)
+        pruneExpired(pathHops[rec.pathFirst + h].link);
+    EventFn cb = std::move(rec.cb);
+    bool full = rec.fullWalk;
+    NodeId cont = full ? kInvalidNode
+        : pathHops[rec.pathFirst + rec.hopsWalked - 1].to;
+    NodeId dst = rec.dst;
+    std::uint32_t bytes = rec.bytes;
+    // Free before invoking: the callback may re-enter send() and
+    // allocate flight records itself.
+    freeFlight(idx);
+    if (full)
+        cb();
+    else
+        hop(cont, dst, bytes, std::move(cb));
+}
+
+/**
+ * Drop expired reservation entries (start <= now) from the front of a
+ * link's list. An expired entry can neither trigger a displacement
+ * (arrivals enter at >= now) nor be revoked (only starts after the
+ * entrant are), so it is pure garbage; entries are start-sorted, so
+ * all expired entries sit at the front.
+ */
+void
+Fabric::pruneExpired(std::size_t link_idx)
+{
+    auto &resv = linkResv[link_idx];
+    std::size_t keep = 0;
+    while (keep < resv.size() && resv[keep].start <= now())
+        ++keep;
+    if (keep)
+        resv.erase(resv.begin(),
+                   resv.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+/**
+ * Revoke the tail of a link's reservation list from position @p pos:
+ * roll each occupancy back (reverse order, so each restored horizon is
+ * exact) and mark each owner displaced at the lowest affected hop.
+ * Owners newly displaced (or displaced at a lower hop than before) are
+ * pushed on @p work for a downstream re-scan; @p all collects each
+ * displaced record once.
+ */
+void
+Fabric::cutReservations(std::size_t link_idx, std::size_t pos,
+                        std::vector<std::uint32_t> &work,
+                        std::vector<std::uint32_t> &all)
+{
+    auto &resv = linkResv[link_idx];
+    for (std::size_t q = resv.size(); q-- > pos; ) {
+        const Reservation &e = resv[q];
+        FlightRecord &rec = flights[e.rec];
+        assert(rec.active && "reservation owned by a free record");
+        links[link_idx].unoccupy(e.prevHorizon, rec.bytes);
+        if (!rec.displaced) {
+            rec.displaced = true;
+            rec.displacedHop = e.hop;
+            rec.displacedStart = e.start;
+            work.push_back(e.rec);
+            all.push_back(e.rec);
+        } else if (e.hop < rec.displacedHop) {
+            rec.displacedHop = e.hop;
+            rec.displacedStart = e.start;
+            work.push_back(e.rec);
+        }
+    }
+    resv.resize(pos);
+}
+
+/**
+ * A packet is entering @p link_idx at @p enter ahead of at least one
+ * pending reservation. The reference model serves every link in
+ * arrival order, and a pending reservation's start is its owner's
+ * reference arrival, so every reservation starting after @p enter must
+ * yield: revoke it, cascade to the owner's downstream reservations
+ * (and to reservations queued behind those — their owners' arrivals
+ * are later still), cancel each owner's scheduled event, and re-enter
+ * each owner into the per-hop model at the node before its displaced
+ * hop, at its recorded entry tick — exactly where and when the
+ * reference model has it arrive. The owner's committed prefix (hops
+ * before the displacement point) is untouched: the packet really does
+ * traverse those links at the reserved ticks.
+ */
+void
+Fabric::displaceEarlier(std::size_t link_idx, Tick enter)
+{
+    std::vector<std::uint32_t> work;
+    std::vector<std::uint32_t> all;
+    auto &resv = linkResv[link_idx];
+    std::size_t pos = resv.size();
+    while (pos > 0 && resv[pos - 1].start > enter)
+        --pos;
+    cutReservations(link_idx, pos, work, all);
+    while (!work.empty()) {
+        std::uint32_t ri = work.back();
+        work.pop_back();
+        FlightRecord &rec = flights[ri];
+        // Remove the owner's not-yet-started reservations downstream
+        // of its displacement point. (Entries already removed by an
+        // earlier cut are simply not found.)
+        for (std::uint32_t h = rec.displacedHop + 1;
+             h < rec.hopsWalked; ++h) {
+            std::size_t li = pathHops[rec.pathFirst + h].link;
+            auto &lv = linkResv[li];
+            for (std::size_t p = 0; p < lv.size(); ++p) {
+                if (lv[p].rec == ri && lv[p].hop == h) {
+                    cutReservations(li, p, work, all);
+                    break;
+                }
+            }
+        }
+    }
+    for (std::uint32_t ri : all) {
+        FlightRecord &rec = flights[ri];
+        bool was_pending = sim().cancel(rec.ev);
+        assert(was_pending && "displaced a record whose event fired");
+        (void)was_pending;
+        if (rec.fullWalk) {
+            // No longer a single-event delivery: recount it as a
+            // fallback packet (chainWrap also holds the fast-path
+            // gate closed until it is delivered).
+            --fabricStats.fastPathPackets;
+            rec.cb = chainWrap(std::move(rec.cb));
+            rec.fullWalk = false;
+        }
+        // The record now represents only the committed prefix, with
+        // its continuation at the displaced hop's entry tick; it
+        // stays revocable at hops below the displacement point.
+        rec.hopsWalked = rec.displacedHop;
+        rec.displaced = false;
+        rec.ev = at(rec.displacedStart,
+                    [this, ri] { completeFlight(ri); });
+    }
 }
 
 /**

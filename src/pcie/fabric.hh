@@ -10,8 +10,18 @@
  * schedules a single delivery event at the arrival tick. From the
  * first contended link onward it falls back to the per-hop event
  * model, so contention on any link or switch naturally delays
- * everything behind it, tick-for-tick as before. See DESIGN.md
- * "Events-per-IO budget" for the equivalence contract.
+ * everything behind it, tick-for-tick as before.
+ *
+ * Reserving downstream links at *future* entry ticks is only exact
+ * while nothing reaches those links earlier; every future reservation
+ * is therefore recorded and revocable. A packet that enters a link
+ * ahead of a pending reservation's start displaces the reservation's
+ * owner: the owner's scheduled event is cancelled, its unstarted
+ * occupancy rolled back (cascading to reservations queued behind it),
+ * and the owner re-enters the per-hop model at its recorded entry
+ * tick — which is exactly its reference-model arrival, so link FIFO
+ * order always equals arrival order. See DESIGN.md "Events-per-IO
+ * budget" for the full equivalence contract.
  */
 
 #ifndef AFA_PCIE_FABRIC_HH
@@ -143,6 +153,57 @@ class Fabric : public afa::sim::SimObject
                              ///< after this hop (0 on the final hop)
     };
 
+    /**
+     * One revocable future-entry reservation on a link, placed by the
+     * fast-path walk for every hop past the first. Entries on a link
+     * are sorted by start (occupy() requires freeAt(), so each new
+     * reservation begins at or after the previous one's end); entries
+     * whose start has passed are expired garbage, pruned lazily.
+     */
+    struct Reservation
+    {
+        Tick start;          ///< owner starts serialising (= its
+                             ///< reference-model arrival at the link)
+        Tick prevHorizon;    ///< link busy horizon just before the
+                             ///< occupy(), for rollback
+        std::uint32_t rec;   ///< owning FlightRecord index
+        std::uint32_t hop;   ///< hop position on the owner's route
+                             ///< (>= 1; hop 0 starts at send time and
+                             ///< can never be displaced)
+    };
+
+    /**
+     * An in-flight send whose future link occupancy is written into
+     * the busy horizons: a full fast-path walk awaiting its single
+     * delivery event, or the walked prefix of a mid-path fallback
+     * awaiting its chain continuation event. Holding the event handle
+     * and the final callback makes the packet displaceable — if
+     * another packet arrives at a reserved link before the reservation
+     * starts, the event is cancelled, the unstarted reservations are
+     * rolled back, and the packet re-enters the per-hop model at its
+     * recorded entry tick.
+     */
+    struct FlightRecord
+    {
+        afa::sim::EventFn cb;       ///< the caller's on_delivered
+                                    ///< (chainWrap()ed for fallbacks)
+        afa::sim::EventHandle ev;   ///< delivery or continuation event
+        std::uint32_t pathFirst = 0;///< base index into pathHops
+        std::uint32_t hopsWalked = 0;///< links occupied; reservations
+                                    ///< cover hops 1..hopsWalked-1
+        NodeId dst = kInvalidNode;
+        std::uint32_t bytes = 0;
+        bool fullWalk = false;      ///< ev delivers (else it re-enters
+                                    ///< hop() after the walked prefix)
+        bool active = false;
+        // Scratch used only inside displaceEarlier():
+        bool displaced = false;
+        std::uint32_t displacedHop = 0;
+        Tick displacedStart = 0;
+    };
+
+    static constexpr std::uint32_t kNoFlight = 0xffffffffu;
+
     std::vector<NodeInfo> nodeInfo;
     std::vector<Link> links;
     // Dense n*n next-hop table: nextHopFlat[src * n + dst] is the
@@ -152,6 +213,13 @@ class Fabric : public afa::sim::SimObject
     // pathOffset[src * n + dst + 1]) is the full hop sequence.
     std::vector<PathHop> pathHops;
     std::vector<std::uint32_t> pathOffset;
+    // Pending future-entry reservations per directed link (parallel to
+    // links; sized in finalize()). Almost always empty or tiny: an
+    // entry lives from the owning send() until it starts, is displaced,
+    // or the owner's event completes and prunes it.
+    std::vector<std::vector<Reservation>> linkResv;
+    std::vector<FlightRecord> flights;
+    std::vector<std::uint32_t> freeFlights;
     bool isFinalized;
     bool fastPathEnabled = true;
     /**
@@ -161,7 +229,9 @@ class Fabric : public afa::sim::SimObject
      * reserve ahead of them (it could steal a FIFO slot the reference
      * model would have given the chain packet). Fast-path packets by
      * contrast reserve their whole path at send time, so horizons
-     * fully describe them and they never need the guard.
+     * fully describe them; if traffic nevertheless reaches a reserved
+     * link first, displaceEarlier() revokes the reservation, keeping
+     * FIFO order equal to arrival order (see fabric.cc).
      */
     std::uint64_t chainInFlight = 0;
     FabricStats fabricStats;
@@ -175,6 +245,15 @@ class Fabric : public afa::sim::SimObject
     void hop(NodeId at, NodeId dst, std::uint32_t bytes,
              afa::sim::EventFn on_delivered);
     afa::sim::EventFn chainWrap(afa::sim::EventFn on_delivered);
+    std::uint32_t allocFlight(std::uint32_t path_first, NodeId dst,
+                              std::uint32_t bytes);
+    void freeFlight(std::uint32_t idx);
+    void completeFlight(std::uint32_t idx);
+    void pruneExpired(std::size_t link_idx);
+    void displaceEarlier(std::size_t link_idx, Tick enter);
+    void cutReservations(std::size_t link_idx, std::size_t pos,
+                         std::vector<std::uint32_t> &work,
+                         std::vector<std::uint32_t> &all);
     std::size_t linkIndex(NodeId from, NodeId to) const;
     void checkNode(NodeId id) const;
     [[noreturn]] void fatalNoRoute(NodeId at, NodeId dst) const;

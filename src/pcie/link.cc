@@ -56,4 +56,18 @@ Link::occupy(Tick entry, std::uint32_t bytes)
     return transfer(entry, bytes);
 }
 
+void
+Link::unoccupy(Tick prev_horizon, std::uint32_t bytes)
+{
+    assert(prev_horizon <= busyHorizon &&
+           "unoccupy() would advance the busy horizon");
+    Tick ser = serialization(bytes);
+    assert(totalTransfers > 0 && totalBytes >= bytes &&
+           totalBusy >= ser && "unoccupy() without matching occupy()");
+    busyHorizon = prev_horizon;
+    totalBytes -= bytes;
+    --totalTransfers;
+    totalBusy -= ser;
+}
+
 } // namespace afa::pcie

@@ -70,6 +70,17 @@ class Link
      */
     Tick occupy(Tick entry, std::uint32_t bytes);
 
+    /**
+     * Revoke an occupy() whose reservation has not started: restore
+     * the pre-occupy busy horizon @p prev_horizon and undo the
+     * byte/transfer/busy accounting for @p bytes. Valid only while the
+     * revoked reservation is the last occupancy on the link (the
+     * fabric revokes strictly from the tail of each link's pending
+     * reservation list); occupy() charged zero queue delay, so there
+     * is none to undo.
+     */
+    void unoccupy(Tick prev_horizon, std::uint32_t bytes);
+
     /** Serialization time for @p bytes without queueing. */
     Tick serialization(std::uint32_t bytes) const;
 

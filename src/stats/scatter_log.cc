@@ -15,12 +15,16 @@ ScatterLog::record(Tick when, Tick latency, std::uint32_t device)
         ++nextIndex;
         return;
     }
-    // Reserve the full capacity on the first sample so recording never
-    // reallocates mid-run (the log is bounded anyway). Deferred to
-    // first use because every ExperimentResult embeds an idle
-    // ScatterLog whose default capacity would cost 256 MiB eagerly.
-    if (buf.empty() && buf.capacity() < maxSamples)
-        buf.reserve(maxSamples);
+    // Grow geometrically up to the bound rather than committing the
+    // full capacity up front: the default capacity is 8M samples
+    // (~256 MiB), and with the parallel experiment engine several
+    // scatter-enabled experiments run concurrently, so a run that logs
+    // only a few samples must not pay for its ceiling. Capping the
+    // final doubling at maxSamples also avoids overshooting the bound.
+    if (buf.size() == buf.capacity())
+        buf.reserve(std::min(maxSamples,
+                             std::max<std::size_t>(4096,
+                                                   buf.capacity() * 2)));
     buf.push_back(Sample{nextIndex++, when, latency, device});
 }
 

@@ -190,6 +190,165 @@ TEST_F(FabricFastPathTest, DeepLineTopologyBackToBackMatchesReference)
     EXPECT_GT(fast.stats().fallbackPackets, 0u);
 }
 
+/**
+ * Build the reviewer's displacement repro: a - s1 - s2 - b plus
+ * c - s2. Source a is two hops from the shared directed link s2->b
+ * while c is one hop away, so a packet from c sent *after* one from a
+ * reaches the shared link *earlier* — the reference model serves c
+ * first, so a's fast-path reservation must be revoked.
+ */
+struct UnequalPrefixTopo
+{
+    NodeId a, b, c, s1, s2;
+};
+
+UnequalPrefixTopo
+buildUnequalPrefixTopo(Fabric &f)
+{
+    UnequalPrefixTopo t;
+    t.a = f.addEndpoint("a");
+    t.b = f.addEndpoint("b");
+    t.c = f.addEndpoint("c");
+    t.s1 = f.addSwitch("s1", 300);
+    t.s2 = f.addSwitch("s2", 300);
+    f.connect(t.a, t.s1, LinkParams{4, Gen::Gen3, 100});
+    f.connect(t.s1, t.s2, LinkParams{4, Gen::Gen3, 100});
+    f.connect(t.s2, t.b, LinkParams{4, Gen::Gen3, 100});
+    f.connect(t.c, t.s2, LinkParams{4, Gen::Gen3, 100});
+    f.finalize();
+    return t;
+}
+
+TEST_F(FabricFastPathTest, EarlierEntrantDisplacesFastPathReservation)
+{
+    // a->b is sent first and fast-paths, reserving s2->b at a future
+    // entry tick; c->b is sent later but reaches s2->b first, and its
+    // serialization runs past a's reserved start, so a's delivery
+    // must be pushed back — exactly as the per-hop reference model
+    // computes it.
+    Simulator fast_sim(1), ref_sim(1);
+    Fabric fast(fast_sim, "fast"), ref(ref_sim, "ref");
+    auto ft = buildUnequalPrefixTopo(fast);
+    auto rt = buildUnequalPrefixTopo(ref);
+    ref.setFastPath(false);
+    std::vector<SendOp> ops{
+        SendOp{0, ft.a, ft.b, 4096},
+        SendOp{101, ft.c, ft.b, 8192},
+    };
+    ASSERT_EQ(ft.b, rt.b);
+
+    auto fast_ticks = replay(fast_sim, fast, ops);
+    auto ref_ticks = replay(ref_sim, ref, ops);
+
+    ASSERT_EQ(fast_ticks.size(), ref_ticks.size());
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        EXPECT_EQ(fast_ticks[i], ref_ticks[i]) << "packet " << i;
+    expectSameObservables(fast, ref);
+    // c (sent later) must be delivered first, and a must have been
+    // queued behind it at the shared link.
+    EXPECT_LT(fast_ticks[1], fast_ticks[0]);
+    EXPECT_GT(fast.stats().totalQueueDelay, 0u);
+    // a was displaced off the fast path: both packets end up
+    // accounted as fallback deliveries.
+    EXPECT_EQ(fast.stats().fastPathPackets, 0u);
+    EXPECT_EQ(fast.stats().fallbackPackets, 2u);
+}
+
+TEST_F(FabricFastPathTest, UnequalPrefixRandomTrafficMatchesReference)
+{
+    // Randomized mixed-size bidirectional traffic over the asymmetric
+    // topology: sources at unequal distances keep racing for the
+    // shared s2->b and s2->s1 links, so fast-path reservations are
+    // repeatedly displaced (including cascades where a displaced
+    // packet's own reservations had traffic queued behind them).
+    Simulator fast_sim(1), ref_sim(1);
+    Fabric fast(fast_sim, "fast"), ref(ref_sim, "ref");
+    auto ft = buildUnequalPrefixTopo(fast);
+    auto rt = buildUnequalPrefixTopo(ref);
+    ref.setFastPath(false);
+    ASSERT_EQ(ft.b, rt.b);
+
+    Rng rng(4242);
+    std::vector<SendOp> ops;
+    const NodeId eps[3] = {ft.a, ft.b, ft.c};
+    Tick when = 0;
+    for (int i = 0; i < 400; ++i) {
+        when += rng.uniformInt(0, 2500);
+        NodeId src = eps[rng.uniformInt(0, 2)];
+        NodeId dst = eps[rng.uniformInt(0, 2)];
+        if (src == dst)
+            dst = eps[(rng.uniformInt(0, 2) + 1) % 3];
+        if (src == dst)
+            continue;
+        ops.push_back(SendOp{when, src, dst,
+                             static_cast<std::uint32_t>(
+                                 rng.uniformInt(64, 8192))});
+    }
+    auto fast_ticks = replay(fast_sim, fast, ops);
+    auto ref_ticks = replay(ref_sim, ref, ops);
+    ASSERT_EQ(fast_ticks.size(), ref_ticks.size());
+    for (std::size_t i = 0; i < ops.size(); ++i)
+        EXPECT_EQ(fast_ticks[i], ref_ticks[i]) << "packet " << i;
+    expectSameObservables(fast, ref);
+    EXPECT_GT(fast.stats().fastPathPackets, 0u);
+    EXPECT_GT(fast.stats().fallbackPackets, 0u);
+    EXPECT_GT(fast.stats().totalQueueDelay, 0u);
+}
+
+TEST_F(FabricFastPathTest, SameTickDeliveryCascadeMatchesReference)
+{
+    // Two equal-latency disjoint first legs (a->b and c->d) deliver
+    // at the same tick; each delivery callback immediately issues a
+    // follow-on send into a shared uplink (b->sw->e, d->sw->e). The
+    // follow-ons' FIFO slots on sw->e are decided by same-tick
+    // callback order, so this pins that collapsing deliveries into
+    // single send-time events preserves the reference cascade when
+    // same-tick deliveries were sent in entry order (the equal-prefix
+    // property all real traffic has; see DESIGN.md "Same-tick
+    // ordering").
+    auto build = [](Fabric &f, std::vector<NodeId> &n) {
+        NodeId a = f.addEndpoint("a");
+        NodeId b = f.addEndpoint("b");
+        NodeId c = f.addEndpoint("c");
+        NodeId d = f.addEndpoint("d");
+        NodeId e = f.addEndpoint("e");
+        NodeId sw = f.addSwitch("sw", 300);
+        f.connect(a, b, LinkParams{4, Gen::Gen3, 100});
+        f.connect(c, d, LinkParams{4, Gen::Gen3, 100});
+        f.connect(b, sw, LinkParams{4, Gen::Gen3, 100});
+        f.connect(d, sw, LinkParams{4, Gen::Gen3, 100});
+        f.connect(sw, e, LinkParams{16, Gen::Gen3, 100});
+        f.finalize();
+        n = {a, b, c, d, e, sw};
+    };
+    auto run = [&](bool fast_path, std::vector<Tick> &ticks) {
+        Simulator sim(1);
+        Fabric f(sim, "f");
+        std::vector<NodeId> n;
+        build(f, n);
+        f.setFastPath(fast_path);
+        ticks.assign(4, 0);
+        f.send(n[0], n[1], 64, [&] {
+            ticks[0] = sim.now();
+            f.send(n[1], n[4], 4096, [&] { ticks[2] = sim.now(); });
+        });
+        f.send(n[2], n[3], 64, [&] {
+            ticks[1] = sim.now();
+            f.send(n[3], n[4], 4096, [&] { ticks[3] = sim.now(); });
+        });
+        sim.run();
+    };
+    std::vector<Tick> fast_ticks, ref_ticks;
+    run(true, fast_ticks);
+    run(false, ref_ticks);
+    EXPECT_EQ(fast_ticks, ref_ticks);
+    // The first legs really did deliver at the same tick, and the
+    // follow-ons really did contend: their gap is the shared uplink
+    // serialization.
+    EXPECT_EQ(fast_ticks[0], fast_ticks[1]);
+    EXPECT_GT(fast_ticks[3], fast_ticks[2]);
+}
+
 TEST_F(FabricFastPathTest, MidPathContentionFallsBackAtSharedUplink)
 {
     // Two devices with private first links funnel into one shared
