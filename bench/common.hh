@@ -21,6 +21,17 @@
  *   --seeds N         replicate every run with seeds S..S+N-1 and
  *                     aggregate the ladders across replicas
  *   --metrics-json F  also write the per-run metrics JSON to file F
+ *                     (includes the system metrics when tracing is on)
+ *   --trace C[,C...]  enable span tracing for the listed categories
+ *                     (workload,sched,pcie,nvme,smart,ftl,nand,irq or
+ *                     "all"); results stay bit-identical, only
+ *                     telemetry is added
+ *   --trace-out F     write a Chrome/Perfetto trace-event JSON of the
+ *                     last reported figure's first run to file F
+ *                     (implies --trace all when --trace is absent)
+ *   --attribution     print the per-stage latency attribution table
+ *                     under every figure (implies --trace all when
+ *                     --trace is absent)
  */
 
 #ifndef AFA_BENCH_COMMON_HH
@@ -32,6 +43,7 @@
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "core/run_plan.hh"
+#include "obs/perfetto.hh"
 #include "sim/config.hh"
 
 namespace afa::bench {
@@ -44,6 +56,8 @@ struct BenchOptions
     unsigned jobs = 1;
     unsigned seeds = 1;
     std::string metricsJsonPath;
+    std::string traceOutPath;
+    bool attribution = false;
 };
 
 inline BenchOptions
@@ -71,6 +85,17 @@ parseOptions(int argc, char **argv)
     if (opts.seeds == 0)
         opts.seeds = 1;
     opts.metricsJsonPath = cfg.getString("metrics_json", "");
+    std::string trace = cfg.getString("trace", "");
+    if (!trace.empty())
+        p.traceMask = afa::obs::parseCategories(trace);
+    opts.traceOutPath = cfg.getString("trace_out", "");
+    opts.attribution = cfg.getBool("attribution", false);
+    // A trace consumer without an explicit category list gets all of
+    // them; the Perfetto export additionally needs the raw records.
+    if ((!opts.traceOutPath.empty() || opts.attribution) &&
+        p.traceMask == 0)
+        p.traceMask = afa::obs::kAllCategories;
+    p.keepSpans = !opts.traceOutPath.empty();
     return opts;
 }
 
@@ -93,6 +118,9 @@ struct PlanRun
     double wallSeconds = 0.0;
     unsigned jobs = 1;
     std::size_t runs = 0;
+
+    /** System metrics merged over every case (empty unless --trace). */
+    afa::obs::MetricsSnapshot systemMetrics;
 };
 
 /**
@@ -125,6 +153,7 @@ executePlan(afa::core::RunPlan &plan, const BenchOptions &opts)
         out.results.push_back(
             afa::core::ParallelExperimentRunner::mergeReplicas(
                 group));
+        out.systemMetrics.merge(out.results.back().systemMetrics);
     }
     return out;
 }
@@ -137,6 +166,11 @@ reportRunMetrics(const PlanRun &run, const BenchOptions &opts)
                 "wall ===\n",
                 run.runs, run.jobs, run.wallSeconds);
     printTable(run.metricsTable, opts.csv);
+    if (!run.systemMetrics.empty()) {
+        std::printf("\nsystem metrics (summed over %zu runs):\n",
+                    run.runs);
+        printTable(run.systemMetrics.table(), opts.csv);
+    }
     if (!opts.metricsJsonPath.empty()) {
         std::FILE *f = std::fopen(opts.metricsJsonPath.c_str(), "w");
         if (!f) {
@@ -144,7 +178,14 @@ reportRunMetrics(const PlanRun &run, const BenchOptions &opts)
                          opts.metricsJsonPath.c_str());
             return;
         }
-        std::fputs(run.metricsJson.c_str(), f);
+        // The artifact nests the execution metrics next to the system
+        // metrics so one file captures a whole bench invocation.
+        std::string json = "{\n\"run_metrics\": ";
+        json += run.metricsJson;
+        json += ",\n\"system_metrics\": ";
+        json += run.systemMetrics.toJson("  ");
+        json += "\n}\n";
+        std::fputs(json.c_str(), f);
         std::fclose(f);
         std::printf("run metrics JSON written to %s\n",
                     opts.metricsJsonPath.c_str());
@@ -168,6 +209,29 @@ reportFigure(const char *figure, const char *caption,
     }
     if (!result.systemReportText.empty())
         std::printf("\n%s", result.systemReportText.c_str());
+    if (opts.attribution && !result.attribution.empty()) {
+        std::printf("\nlatency attribution (all runs):\n");
+        printTable(result.attribution.table(), opts.csv);
+        const auto &m = result.systemMetrics;
+        if (!m.empty())
+            std::printf("fabric: %llu fast-path / %llu fallback "
+                        "packets; %llu span drops\n",
+                        (unsigned long long)m.counter(
+                            "fabric.fast_path_packets"),
+                        (unsigned long long)m.counter(
+                            "fabric.fallback_packets"),
+                        (unsigned long long)result.spanDrops);
+    }
+    if (!opts.traceOutPath.empty() && !result.spans.empty()) {
+        // Benches reporting several figures overwrite the file; the
+        // last figure's timeline wins, matching the common one-figure
+        // use of --trace-out.
+        if (afa::obs::writePerfettoJson(opts.traceOutPath,
+                                        result.spans))
+            std::printf("perfetto trace (%zu spans) written to %s\n",
+                        result.spans.size(),
+                        opts.traceOutPath.c_str());
+    }
     std::printf("\n");
 }
 

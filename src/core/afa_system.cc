@@ -1,5 +1,6 @@
 #include "core/afa_system.hh"
 
+#include "obs/metrics.hh"
 #include "sim/logging.hh"
 
 namespace afa::core {
@@ -43,11 +44,13 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
         ctrl.setQueuePairs(sched->topology().logicalCpus());
         afa::pcie::NodeId dev_node = fabricTopo.ssds[d];
         afa::pcie::NodeId host_node = fabricTopo.host;
-        ctrl.setTransport([this, dev_node, host_node](
-                              std::uint32_t bytes,
+        ctrl.setTransport([this, dev_node, host_node, d](
+                              std::uint32_t bytes, std::uint64_t io,
                               afa::sim::EventFn fn) {
-            pcieFabric->send(dev_node, host_node, bytes,
-                             std::move(fn));
+            pcieFabric->sendSpanned(dev_node, host_node, bytes, io,
+                                    afa::obs::ssdTrack(d),
+                                    afa::obs::Stage::FabricComplete,
+                                    std::move(fn));
         });
         ctrl.setCompletionHandler(
             [this, d](const NvmeCompletion &completion) {
@@ -92,6 +95,99 @@ AfaSystem::outstandingCommands() const
     return driver->outstanding();
 }
 
+void
+AfaSystem::setSpanLog(afa::obs::SpanLog *log)
+{
+    pcieFabric->setSpanLog(log);
+    sched->setSpanLog(log);
+    irqSub->setSpanLog(log);
+    for (unsigned d = 0; d < ctrls.size(); ++d)
+        ctrls[d]->setSpanLog(log, afa::obs::ssdTrack(d));
+}
+
+void
+AfaSystem::publishMetrics(afa::obs::MetricsRegistry &registry) const
+{
+    const afa::pcie::FabricStats &fs = pcieFabric->stats();
+    registry.addCounter("fabric.packets", fs.packets);
+    registry.addCounter("fabric.bytes", fs.bytes);
+    registry.addCounter("fabric.fast_path_packets", fs.fastPathPackets);
+    registry.addCounter("fabric.fallback_packets", fs.fallbackPackets);
+    registry.addCounter("fabric.queue_delay_ticks", fs.totalQueueDelay);
+
+    const afa::host::IrqStats &is = irqSub->stats();
+    registry.addCounter("irq.delivered", is.delivered);
+    registry.addCounter("irq.remote_deliveries", is.remoteDeliveries);
+    registry.addCounter("irq.cross_socket", is.crossSocket);
+    registry.addCounter("irq.rebalances", is.rebalances);
+    registry.addCounter("irq.vector_moves", is.vectorMoves);
+
+    afa::host::CpuStats cpu;
+    unsigned cpus = sched->topology().logicalCpus();
+    for (unsigned c = 0; c < cpus; ++c) {
+        const afa::host::CpuStats &s = sched->cpuStats(c);
+        cpu.busyTime += s.busyTime;
+        cpu.irqTime += s.irqTime;
+        cpu.switches += s.switches;
+        cpu.interrupts += s.interrupts;
+        cpu.pulls += s.pulls;
+        cpu.cstateWakes += s.cstateWakes;
+        cpu.cstateExitDelay += s.cstateExitDelay;
+    }
+    registry.addCounter("sched.busy_ticks", cpu.busyTime);
+    registry.addCounter("sched.irq_ticks", cpu.irqTime);
+    registry.addCounter("sched.switches", cpu.switches);
+    registry.addCounter("sched.interrupts", cpu.interrupts);
+    registry.addCounter("sched.pulls", cpu.pulls);
+    registry.addCounter("sched.cstate_wakes", cpu.cstateWakes);
+    registry.addCounter("sched.cstate_exit_ticks", cpu.cstateExitDelay);
+
+    afa::nvme::ControllerStats ssd;
+    afa::nvme::FtlStats ftl;
+    afa::nand::NandStats nand;
+    std::uint64_t smart_collections = 0;
+    std::uint64_t smart_saves = 0;
+    for (std::size_t d = 0; d < ctrls.size(); ++d) {
+        const afa::nvme::ControllerStats &cs = ctrls[d]->stats();
+        ssd.readsCompleted += cs.readsCompleted;
+        ssd.writesCompleted += cs.writesCompleted;
+        ssd.bytesRead += cs.bytesRead;
+        ssd.bytesWritten += cs.bytesWritten;
+        ssd.hiccups += cs.hiccups;
+        ssd.smartStallDelay += cs.smartStallDelay;
+        const afa::nvme::FtlStats &fls = ctrls[d]->ftl().stats();
+        ftl.hostReadsMapped += fls.hostReadsMapped;
+        ftl.hostWrites += fls.hostWrites;
+        ftl.gcRuns += fls.gcRuns;
+        const afa::nand::NandStats &ns = nands[d]->stats();
+        nand.reads += ns.reads;
+        nand.programs += ns.programs;
+        nand.erases += ns.erases;
+        nand.dieBusyTime += ns.dieBusyTime;
+        nand.channelBusyTime += ns.channelBusyTime;
+        const afa::nvme::SmartEngine &se = ctrls[d]->smart();
+        smart_collections += se.collections();
+        smart_saves += se.saves();
+    }
+    registry.addCounter("nvme.reads_completed", ssd.readsCompleted);
+    registry.addCounter("nvme.writes_completed", ssd.writesCompleted);
+    registry.addCounter("nvme.bytes_read", ssd.bytesRead);
+    registry.addCounter("nvme.bytes_written", ssd.bytesWritten);
+    registry.addCounter("nvme.hiccups", ssd.hiccups);
+    registry.addCounter("nvme.smart_stall_ticks", ssd.smartStallDelay);
+    registry.addCounter("smart.collections", smart_collections);
+    registry.addCounter("smart.saves", smart_saves);
+    registry.addCounter("ftl.host_reads_mapped", ftl.hostReadsMapped);
+    registry.addCounter("ftl.host_writes", ftl.hostWrites);
+    registry.addCounter("ftl.gc_runs", ftl.gcRuns);
+    registry.addCounter("nand.reads", nand.reads);
+    registry.addCounter("nand.programs", nand.programs);
+    registry.addCounter("nand.erases", nand.erases);
+    registry.addCounter("nand.die_busy_ticks", nand.dieBusyTime);
+    registry.addCounter("nand.channel_busy_ticks",
+                        nand.channelBusyTime);
+}
+
 // ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
@@ -105,7 +201,8 @@ AfaSystem::Driver::submit(unsigned cpu,
         afa::sim::panic("driver: device %u out of range",
                         request.device);
     std::uint64_t id = nextCmdId++;
-    inFlight.emplace(id, std::move(on_device_complete));
+    inFlight.emplace(id, Pending{std::move(on_device_complete),
+                                 request.tag});
 
     NvmeCommand cmd;
     cmd.op = request.op;
@@ -114,12 +211,15 @@ AfaSystem::Driver::submit(unsigned cpu,
     cmd.queueId = static_cast<std::uint16_t>(cpu);
     cmd.cmdId = id;
     cmd.submitted = sys.sim.now();
+    cmd.tag = request.tag;
 
     afa::nvme::Controller *ctrl = sys.ctrls[request.device].get();
-    sys.pcieFabric->send(sys.fabricTopo.host,
-                         sys.fabricTopo.ssds[request.device],
-                         sys.sysParams.sqeBytes,
-                         [ctrl, cmd] { ctrl->submit(cmd); });
+    sys.pcieFabric->sendSpanned(sys.fabricTopo.host,
+                                sys.fabricTopo.ssds[request.device],
+                                sys.sysParams.sqeBytes, cmd.tag,
+                                afa::obs::cpuTrack(cpu),
+                                afa::obs::Stage::FabricSubmit,
+                                [ctrl, cmd] { ctrl->submit(cmd); });
 }
 
 std::uint64_t
@@ -138,20 +238,21 @@ AfaSystem::Driver::onCompletion(unsigned device,
     if (it == inFlight.end())
         afa::sim::panic("driver: completion for unknown command %llu",
                         (unsigned long long)completion.cmdId);
-    CompleteFn fn = std::move(it->second);
+    Pending pending = std::move(it->second);
     inFlight.erase(it);
     if (sys.polledMode) {
         // Polled queues: the CQE sits in host memory; the submitting
         // thread's poll loop will find it. No interrupt is raised.
-        fn(completion.queueId);
+        pending.fn(completion.queueId);
         return;
     }
     // Deliver through the MSI-X vector of (device, submit queue);
     // its affinity decides which CPU pays the hardirq/softirq cost.
     sys.irqSub->raise(device, completion.queueId,
-                      [fn = std::move(fn)](unsigned handler_cpu) {
+                      [fn = std::move(pending.fn)](unsigned handler_cpu) {
                           fn(handler_cpu);
-                      });
+                      },
+                      pending.tag);
 }
 
 } // namespace afa::core

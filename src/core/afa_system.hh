@@ -25,6 +25,10 @@
 #include "pcie/fabric.hh"
 #include "workload/io_engine.hh"
 
+namespace afa::obs {
+class MetricsRegistry;
+} // namespace afa::obs
+
 namespace afa::core {
 
 /** Everything configurable about the assembled system. */
@@ -88,6 +92,22 @@ class AfaSystem
     /** True when completions bypass the IRQ subsystem. */
     bool polledCompletions() const { return polledMode; }
 
+    /**
+     * Attach the obs span log to every instrumented layer (fabric,
+     * scheduler, IRQ subsystem, each SSD's controller/FTL/NAND);
+     * nullptr detaches. FIO threads attach themselves separately via
+     * FioThread::attachSpanLog().
+     */
+    void setSpanLog(afa::obs::SpanLog *log);
+
+    /**
+     * Publish end-of-run component counters (fabric, IRQ, scheduler,
+     * controllers, FTL, NAND, SMART) into @p registry under the
+     * "<component>.<metric>" naming convention. Per-SSD counters are
+     * summed across devices.
+     */
+    void publishMetrics(afa::obs::MetricsRegistry &registry) const;
+
     afa::host::Scheduler &scheduler() { return *sched; }
     afa::host::IrqSubsystem &irq() { return *irqSub; }
     afa::host::BackgroundLoad &background() { return *bg; }
@@ -118,9 +138,16 @@ class AfaSystem
         std::size_t outstanding() const { return inFlight.size(); }
 
       private:
+        /** One submitted-not-yet-completed command. */
+        struct Pending
+        {
+            CompleteFn fn;
+            std::uint64_t tag = 0; ///< observability tag
+        };
+
         AfaSystem &sys;
         std::uint64_t nextCmdId = 1;
-        std::unordered_map<std::uint64_t, CompleteFn> inFlight;
+        std::unordered_map<std::uint64_t, Pending> inFlight;
     };
 
     afa::sim::Simulator &sim;

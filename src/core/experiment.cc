@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/system_report.hh"
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 #include "workload/fio_thread.hh"
 
@@ -55,6 +56,14 @@ ExperimentRunner::run(const ExperimentParams &params)
                 params.irqBalanceInterval;
 
         AfaSystem system(sim, sys_params);
+        std::unique_ptr<afa::obs::SpanLog> spanLog;
+        if (params.traceMask != 0) {
+            afa::obs::TraceParams trace;
+            trace.mask = params.traceMask;
+            trace.capacity = params.traceCapacity;
+            spanLog = std::make_unique<afa::obs::SpanLog>(trace);
+            system.setSpanLog(spanLog.get());
+        }
         if (params.polledCompletions)
             system.setPolledCompletions(true);
         if (params.preconditionFraction > 0.0)
@@ -75,6 +84,8 @@ ExperimentRunner::run(const ExperimentParams &params)
                 p.device, job));
             if (p.device < params.scatterDevices)
                 threads.back()->attachScatterLog(&result.scatter);
+            if (spanLog)
+                threads.back()->attachSpanLog(spanLog.get());
         }
 
         system.start();
@@ -111,6 +122,18 @@ ExperimentRunner::run(const ExperimentParams &params)
         result.simulatedEvents += sim.executedEvents();
         if (params.captureSystemReport)
             result.systemReportText = systemReport(system);
+        if (spanLog) {
+            result.attribution.merge(spanLog->attribution());
+            result.spanDrops += spanLog->dropped();
+            if (params.keepSpans && run_idx == 0)
+                result.spans = spanLog->snapshot();
+            afa::obs::MetricsRegistry registry;
+            system.publishMetrics(registry);
+            registry.addCounter("obs.spans_recorded",
+                                spanLog->recorded());
+            registry.addCounter("obs.span_drops", spanLog->dropped());
+            result.systemMetrics.merge(registry.snapshot());
+        }
     }
 
     result.aggregate =

@@ -17,6 +17,9 @@
 #include "core/afa_system.hh"
 #include "core/geometry.hh"
 #include "core/tuning.hh"
+#include "obs/attribution.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "stats/scatter_log.hh"
 #include "stats/summary.hh"
 #include "workload/fio_job.hh"
@@ -86,6 +89,24 @@ struct ExperimentParams
      * pin threads to uplink-local or remote sockets.
      */
     std::optional<Run> placementOverride;
+
+    /**
+     * Span-tracing category mask (obs::Category bits). 0 keeps every
+     * instrumentation site disabled: no SpanLog is even constructed,
+     * so the run is bit-identical to an untraced build.
+     */
+    std::uint32_t traceMask = 0;
+
+    /** Span ring capacity per run (records; 32 bytes each). */
+    std::size_t traceCapacity = std::size_t(1) << 20;
+
+    /**
+     * Keep the raw span records of the *first* geometry run in the
+     * result (for Perfetto export). Attribution totals always cover
+     * every run; raw records of one run are plenty for a timeline
+     * and keep result sizes bounded.
+     */
+    bool keepSpans = false;
 };
 
 /** Result of one experiment (merged across geometry runs). */
@@ -113,6 +134,18 @@ struct ExperimentResult
 
     /** Runs executed (Table II's right column). */
     unsigned runs = 0;
+
+    /** Per-stage latency attribution (traceMask != 0). */
+    afa::obs::Attribution attribution;
+
+    /** Raw span records of the first run (keepSpans). */
+    std::vector<afa::obs::SpanRecord> spans;
+
+    /** Span records overwritten by ring wrap, summed over runs. */
+    std::uint64_t spanDrops = 0;
+
+    /** End-of-run component counters (traceMask != 0). */
+    afa::obs::MetricsSnapshot systemMetrics;
 };
 
 /** Runs experiments. */

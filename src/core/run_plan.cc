@@ -204,6 +204,11 @@ ParallelExperimentRunner::mergeReplicas(
         merged.totalIos += r.totalIos;
         merged.simulatedEvents += r.simulatedEvents;
         merged.runs += r.runs;
+        merged.attribution.merge(r.attribution);
+        merged.spanDrops += r.spanDrops;
+        merged.systemMetrics.merge(r.systemMetrics);
+        // Raw spans stay those of the first replica: one run's
+        // timeline is what Perfetto export wants.
     }
     if (group.size() > 1) {
         double gbps = 0.0;

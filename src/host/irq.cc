@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::host {
@@ -115,7 +116,7 @@ IrqSubsystem::balancerScan()
             if (affinity[i] != target) {
                 affinity[i] = target;
                 ++irqStats.vectorMoves;
-                if (tracer)
+                if (tracer && tracer->enabled("irq.balance"))
                     tracer->record(
                         now(), "irq.balance",
                         afa::sim::strfmt("irq(%u,%u) -> cpu%u", d, q,
@@ -127,7 +128,8 @@ IrqSubsystem::balancerScan()
 }
 
 void
-IrqSubsystem::raise(unsigned device, unsigned queue, HandlerFn handler)
+IrqSubsystem::raise(unsigned device, unsigned queue, HandlerFn handler,
+                    std::uint64_t io)
 {
     std::size_t i = index(device, queue);
     ++counts[i];
@@ -143,6 +145,25 @@ IrqSubsystem::raise(unsigned device, unsigned queue, HandlerFn handler)
     if (topo.socketOf(cpu) != topo.uplinkSocket()) {
         cost += cfg.crossSocketPenalty;
         ++irqStats.crossSocket;
+    }
+
+    if (spanLog && spanLog->wants(afa::obs::Category::Irq)) {
+        // Span covers raise -> handler execution: c-state exit plus
+        // the hardirq/softirq work, on the handler CPU's track. The
+        // Remote flag marks the paper's misplacement (handler CPU is
+        // not the submission queue's CPU).
+        std::uint8_t flags =
+            cpu != queue ? afa::obs::kSpanFlagRemote : std::uint8_t(0);
+        sched.interrupt(
+            cpu, cost,
+            [this, handler = std::move(handler), cpu, io, flags,
+             raised = now(), device] {
+                spanLog->record(afa::obs::Stage::IrqDeliver, io,
+                                raised, now(), afa::obs::cpuTrack(cpu),
+                                flags, device);
+                handler(cpu);
+            });
+        return;
     }
 
     sched.interrupt(cpu, cost, [handler = std::move(handler), cpu] {

@@ -55,9 +55,14 @@ class IrqSubsystem : public afa::sim::SimObject
     /**
      * Raise the vector of (device, queue): the hardirq executes on the
      * vector's affinity CPU (paying c-state exit, stealing CPU time),
-     * then the softirq completion work, then @p handler.
+     * then the softirq completion work, then @p handler. @p io tags
+     * the delivery span (0 = untagged).
      */
-    void raise(unsigned device, unsigned queue, HandlerFn handler);
+    void raise(unsigned device, unsigned queue, HandlerFn handler,
+               std::uint64_t io = 0);
+
+    /** Attach (or detach, with nullptr) the obs span log. */
+    void setSpanLog(afa::obs::SpanLog *log) { spanLog = log; }
 
     /** Current affinity CPU of a vector. */
     unsigned effectiveCpu(unsigned device, unsigned queue) const;
@@ -87,6 +92,7 @@ class IrqSubsystem : public afa::sim::SimObject
     unsigned numDevices;
     unsigned numQueues; ///< per device == logical CPUs
     afa::sim::Tracer *tracer;
+    afa::obs::SpanLog *spanLog = nullptr;
 
     /// affinity[device * numQueues + queue] = handler CPU
     std::vector<unsigned> affinity;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::host {
@@ -55,7 +56,13 @@ void
 Scheduler::trace(const char *category, std::string message)
 {
     if (tracer)
-        tracer->record(now(), category, std::move(message));
+        tracer->record(now(), category, message);
+}
+
+bool
+Scheduler::tracing(const char *category) const
+{
+    return tracer && tracer->enabled(category);
 }
 
 void
@@ -314,9 +321,10 @@ Scheduler::wake(TaskId id)
         // "fresh" against wakeup-granularity checks.
         if (t.params.klass == SchedClass::Fair)
             t.vruntime = cpus[cpu].minVruntime;
-        trace("sched.migrate",
-              afa::sim::strfmt("%s cpu%u -> cpu%u",
-                               t.params.name.c_str(), t.cpu, cpu));
+        if (tracing("sched.migrate"))
+            trace("sched.migrate",
+                  afa::sim::strfmt("%s cpu%u -> cpu%u",
+                                   t.params.name.c_str(), t.cpu, cpu));
     }
     t.everPlaced = true;
     t.state = TaskState::Runnable;
@@ -334,10 +342,11 @@ Scheduler::wake(TaskId id)
         stopRunning(cpu, true);
         dispatch(cpu);
     } else {
-        trace("sched.no_preempt",
-              afa::sim::strfmt("%s waits behind %s on cpu%u",
-                               t.params.name.c_str(),
-                               curr.params.name.c_str(), cpu));
+        if (tracing("sched.no_preempt"))
+            trace("sched.no_preempt",
+                  afa::sim::strfmt("%s waits behind %s on cpu%u",
+                                   t.params.name.c_str(),
+                                   curr.params.name.c_str(), cpu));
     }
 }
 
@@ -399,6 +408,11 @@ Scheduler::startRunning(unsigned cpu, TaskId id)
     Tick wait = now() - t.runnableSince;
     t.stats.waitTime += wait;
     t.stats.worstWait = std::max(t.stats.worstWait, wait);
+    if (spanLog && t.params.traceSpans && wait > 0 &&
+        spanLog->wants(afa::obs::Category::Sched))
+        spanLog->record(afa::obs::Stage::SchedulerWait, 0,
+                        t.runnableSince, now(),
+                        afa::obs::cpuTrack(cpu), 0, id);
 
     // Waking an idle CPU pays the c-state exit latency.
     Tick exit_delay = wakeFromIdle(cpu);
@@ -685,9 +699,11 @@ Scheduler::tryPull(unsigned to_cpu)
             cpus[to_cpu].minVruntime;
         ++t.stats.migrations;
         ++cpus[to_cpu].stats.pulls;
-        trace("sched.balance",
-              afa::sim::strfmt("pull %s cpu%u -> cpu%u",
-                               t.params.name.c_str(), busiest, to_cpu));
+        if (tracing("sched.balance"))
+            trace("sched.balance",
+                  afa::sim::strfmt("pull %s cpu%u -> cpu%u",
+                                   t.params.name.c_str(), busiest,
+                                   to_cpu));
         enqueue(to_cpu, pulled, false);
         if (cpus[to_cpu].current == kNoTask)
             dispatch(to_cpu);

@@ -43,6 +43,10 @@
 #include "sim/sim_object.hh"
 #include "sim/trace.hh"
 
+namespace afa::obs {
+class SpanLog;
+} // namespace afa::obs
+
 namespace afa::host {
 
 /** Identifies a task. */
@@ -77,6 +81,10 @@ struct TaskParams
     int nice = 0;        ///< fair class: -20..19
     int rtPriority = 0;  ///< RT class: 1..99
     CpuMask affinity = kAllCpus;
+    /** Record obs sched-wait spans for this task's dispatches. Set
+     *  only for latency-measured tasks (the fio threads), so CPU-hog
+     *  background tasks do not drown the sched_wait stage. */
+    bool traceSpans = false;
 };
 
 /** Per-task statistics. */
@@ -160,6 +168,9 @@ class Scheduler : public afa::sim::SimObject
     /** Runtime-mutable kernel config (tests tweak knobs). */
     KernelConfig &mutableConfig() { return kcfg; }
 
+    /** Attach (or detach, with nullptr) the obs span log. */
+    void setSpanLog(afa::obs::SpanLog *log) { spanLog = log; }
+
   private:
     struct Task
     {
@@ -200,6 +211,7 @@ class Scheduler : public afa::sim::SimObject
     CpuTopology topo;
     KernelConfig kcfg;
     afa::sim::Tracer *tracer;
+    afa::obs::SpanLog *spanLog = nullptr;
     std::vector<Task> tasks;
     std::vector<Cpu> cpus;
     bool started;
@@ -238,6 +250,9 @@ class Scheduler : public afa::sim::SimObject
     Tick wakeFromIdle(unsigned cpu);
 
     void trace(const char *category, std::string message);
+    /** Gate for strfmt at trace() call sites: build the message only
+     *  when someone will keep it. */
+    bool tracing(const char *category) const;
     void checkTaskId(TaskId id) const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::nand {
@@ -56,8 +57,9 @@ NandArray::addrForDie(unsigned linear_die, std::uint32_t block,
                     linear_die % nandParams.diesPerChannel, block, page};
 }
 
-void
-NandArray::read(const PageAddr &addr, std::uint32_t bytes, DoneFn done)
+Tick
+NandArray::read(const PageAddr &addr, std::uint32_t bytes, DoneFn done,
+                std::uint64_t io)
 {
     checkAddr(addr);
     std::size_t di = dieIndex(addr);
@@ -76,10 +78,16 @@ NandArray::read(const PageAddr &addr, std::uint32_t bytes, DoneFn done)
     channelBusy[addr.channel] = ch_end;
     nandStats.channelBusyTime += xfer;
     ++nandStats.reads;
+    if (spanLog && spanLog->wants(afa::obs::Category::Nand))
+        spanLog->record(afa::obs::Stage::NandRead, io, die_start,
+                        ch_end, spanTrack, 0,
+                        addr.channel * nandParams.diesPerChannel +
+                            addr.die);
     at(ch_end, std::move(done));
+    return ch_end;
 }
 
-void
+Tick
 NandArray::program(const PageAddr &addr, std::uint32_t bytes,
                    DoneFn done)
 {
@@ -101,9 +109,10 @@ NandArray::program(const PageAddr &addr, std::uint32_t bytes,
     nandStats.dieBusyTime += t_prog;
     ++nandStats.programs;
     at(die_end, std::move(done));
+    return die_end;
 }
 
-void
+Tick
 NandArray::erase(const PageAddr &addr, DoneFn done)
 {
     checkAddr(addr);
@@ -117,6 +126,7 @@ NandArray::erase(const PageAddr &addr, DoneFn done)
     nandStats.dieBusyTime += t_erase;
     ++nandStats.erases;
     at(die_end, std::move(done));
+    return die_end;
 }
 
 Tick

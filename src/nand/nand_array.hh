@@ -18,6 +18,10 @@
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 
+namespace afa::obs {
+class SpanLog;
+} // namespace afa::obs
+
 namespace afa::nand {
 
 using afa::sim::Tick;
@@ -82,14 +86,33 @@ class NandArray : public afa::sim::SimObject
     NandArray(afa::sim::Simulator &simulator, std::string array_name,
               const NandParams &nand_params);
 
-    /** Read @p bytes from a page; @p done fires at data-out end. */
-    void read(const PageAddr &addr, std::uint32_t bytes, DoneFn done);
+    /**
+     * Read @p bytes from a page; @p done fires at data-out end (the
+     * returned tick). @p io tags the obs span, when one is recorded.
+     */
+    Tick read(const PageAddr &addr, std::uint32_t bytes, DoneFn done,
+              std::uint64_t io = 0);
 
-    /** Program a page; @p done fires when tProg completes. */
-    void program(const PageAddr &addr, std::uint32_t bytes, DoneFn done);
+    /**
+     * Program a page; @p done fires when tProg completes (the
+     * returned tick).
+     */
+    Tick program(const PageAddr &addr, std::uint32_t bytes,
+                 DoneFn done);
 
-    /** Erase a block; @p done fires when tBERS completes. */
-    void erase(const PageAddr &addr, DoneFn done);
+    /**
+     * Erase a block; @p done fires when tBERS completes (the
+     * returned tick).
+     */
+    Tick erase(const PageAddr &addr, DoneFn done);
+
+    /** Attach the span log; spans use @p track (the owning SSD's). */
+    void
+    setSpanLog(afa::obs::SpanLog *log, std::uint16_t track)
+    {
+        spanLog = log;
+        spanTrack = track;
+    }
 
     /**
      * Map a linear die index (0..totalDies-1) to a channel/die pair;
@@ -111,6 +134,8 @@ class NandArray : public afa::sim::SimObject
     std::vector<Tick> dieBusy;     // [channel * diesPerChannel + die]
     std::vector<Tick> channelBusy; // [channel]
     NandStats nandStats;
+    afa::obs::SpanLog *spanLog = nullptr;
+    std::uint16_t spanTrack = 0;
 
     std::size_t dieIndex(const PageAddr &addr) const;
     void checkAddr(const PageAddr &addr) const;

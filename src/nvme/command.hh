@@ -40,6 +40,7 @@ struct NvmeCommand
     std::uint16_t queueId = 0;    ///< submission queue (per host CPU)
     std::uint64_t cmdId = 0;      ///< host-assigned tag
     Tick submitted = 0;           ///< host submit tick (for accounting)
+    std::uint64_t tag = 0;        ///< observability tag (0 = untagged)
 };
 
 /** Completion status. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::nvme {
@@ -54,6 +55,14 @@ Controller::setCompletionHandler(CompletionFn handler)
 }
 
 void
+Controller::setSpanLog(afa::obs::SpanLog *log, std::uint16_t track)
+{
+    spanLog = log;
+    spanTrack = track;
+    ftlLayer.setSpanLog(log, track);
+}
+
+void
 Controller::start()
 {
     smartEngine.start();
@@ -68,11 +77,20 @@ Controller::checkWired() const
 }
 
 Tick
-Controller::throughPipeline(Tick proc_time)
+Controller::throughPipeline(Tick proc_time, std::uint64_t io)
 {
     Tick ready = std::max(now(), procBusy);
     Tick stalled = std::max(ready, smartEngine.stalledUntil());
     ctrlStats.smartStallDelay += stalled - ready;
+    if (spanLog) {
+        if (ready > now() && spanLog->wants(afa::obs::Category::Nvme))
+            spanLog->record(afa::obs::Stage::ControllerQueue, io,
+                            now(), ready, spanTrack);
+        if (stalled > ready &&
+            spanLog->wants(afa::obs::Category::Smart))
+            spanLog->record(afa::obs::Stage::SmartStall, io, ready,
+                            stalled, spanTrack);
+    }
     procBusy = stalled + proc_time;
     return procBusy;
 }
@@ -96,7 +114,7 @@ Controller::sampleHiccup()
     auto penalty = static_cast<Tick>(rng().pareto(
         static_cast<double>(fwConfig.hiccupScale), fwConfig.hiccupShape));
     penalty = std::min(penalty, fwConfig.hiccupCap);
-    if (tracer)
+    if (tracer && tracer->enabled("nvme.hiccup"))
         tracer->record(now(), "nvme.hiccup",
                        afa::sim::strfmt("%s +%.1f us", name().c_str(),
                                         afa::sim::toUsec(penalty)));
@@ -108,7 +126,7 @@ Controller::complete(const NvmeCommand &cmd, std::uint32_t reply_bytes,
                      Status status)
 {
     NvmeCompletion completion{cmd.cmdId, cmd.queueId, status};
-    transport(reply_bytes, [this, completion] {
+    transport(reply_bytes, cmd.tag, [this, completion] {
         completionHandler(completion);
     });
 }
@@ -144,7 +162,7 @@ Controller::serveRead(const NvmeCommand &cmd)
         return;
     }
     const std::uint64_t blocks = cmd.bytes / kLogicalBlockBytes;
-    Tick pipe_done = throughPipeline(fwConfig.readProcTime);
+    Tick pipe_done = throughPipeline(fwConfig.readProcTime, cmd.tag);
     at(pipe_done, [this, cmd, blocks] {
         // Determine the media path: any mapped block forces NAND.
         bool any_mapped = false;
@@ -154,9 +172,17 @@ Controller::serveRead(const NvmeCommand &cmd)
                 break;
             }
         Tick hiccup = sampleHiccup();
-        auto finish = [this, cmd, hiccup](Tick media_done) {
-            Tick xfer_done =
-                throughXfer(media_done + hiccup, cmd.bytes);
+        Tick media_begin = now();
+        auto finish = [this, cmd, hiccup,
+                       media_begin](Tick media_done) {
+            Tick xfer_ready = media_done + hiccup;
+            Tick xfer_done = throughXfer(xfer_ready, cmd.bytes);
+            if (spanLog && spanLog->wants(afa::obs::Category::Nvme)) {
+                spanLog->record(afa::obs::Stage::MediaRead, cmd.tag,
+                                media_begin, media_done, spanTrack);
+                spanLog->record(afa::obs::Stage::DeviceXfer, cmd.tag,
+                                xfer_ready, xfer_done, spanTrack);
+            }
             at(xfer_done, [this, cmd] {
                 ++ctrlStats.readsCompleted;
                 ctrlStats.bytesRead += cmd.bytes;
@@ -183,7 +209,7 @@ Controller::serveRead(const NvmeCommand &cmd)
         };
         for (std::uint64_t b = 0; b < blocks; ++b)
             if (ftlLayer.isMapped(cmd.lba + b))
-                ftlLayer.readMapped(cmd.lba + b, on_block);
+                ftlLayer.readMapped(cmd.lba + b, on_block, cmd.tag);
     });
 }
 
@@ -195,7 +221,7 @@ Controller::serveWrite(const NvmeCommand &cmd)
         return;
     }
     const std::uint64_t blocks = cmd.bytes / kLogicalBlockBytes;
-    Tick pipe_done = throughPipeline(fwConfig.readProcTime);
+    Tick pipe_done = throughPipeline(fwConfig.readProcTime, cmd.tag);
     // Write pipe: sequential streams pay bandwidth, random writes pay
     // the per-command FTL overhead that caps random IOPS (Table I).
     bool sequential = cmd.lba == lastWriteEndLba;
@@ -226,8 +252,9 @@ void
 Controller::serveFlush(const NvmeCommand &cmd)
 {
     // A flush drains behind every write already in the write pipe.
-    Tick pipe_done = std::max(throughPipeline(fwConfig.readProcTime),
-                              writePipeBusy);
+    Tick pipe_done =
+        std::max(throughPipeline(fwConfig.readProcTime, cmd.tag),
+                 writePipeBusy);
     at(pipe_done, [this, cmd] {
         ftlLayer.flush([this, cmd] {
             ++ctrlStats.flushesCompleted;
@@ -240,7 +267,7 @@ void
 Controller::serveFormat(const NvmeCommand &cmd)
 {
     // Format stalls the whole device for its duration.
-    Tick pipe_done = throughPipeline(fwConfig.formatDuration);
+    Tick pipe_done = throughPipeline(fwConfig.formatDuration, cmd.tag);
     at(pipe_done, [this, cmd] {
         ftlLayer.format();
         lastWriteEndLba = ~std::uint64_t(0);
@@ -252,7 +279,8 @@ Controller::serveFormat(const NvmeCommand &cmd)
 void
 Controller::serveLogPage(const NvmeCommand &cmd)
 {
-    Tick pipe_done = throughPipeline(fwConfig.logPageProcTime);
+    Tick pipe_done =
+        throughPipeline(fwConfig.logPageProcTime, cmd.tag);
     if (fwConfig.logPageStallsIo)
         smartEngine.stallFor(fwConfig.logPageProcTime);
     at(pipe_done, [this, cmd] {

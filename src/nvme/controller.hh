@@ -30,6 +30,10 @@
 #include "sim/sim_object.hh"
 #include "sim/trace.hh"
 
+namespace afa::obs {
+class SpanLog;
+} // namespace afa::obs
+
 namespace afa::nvme {
 
 /** Controller activity counters. */
@@ -55,10 +59,12 @@ class Controller : public afa::sim::SimObject
 
     /**
      * Device-to-host delivery; injected by the host glue, typically
-     * Fabric::send(deviceNode, hostNode, ...).
+     * Fabric::sendSpanned(deviceNode, hostNode, ...). @p io is the
+     * command's observability tag (0 = untagged) so the transport can
+     * attribute the transfer to the IO.
      */
-    using TransportFn =
-        std::function<void(std::uint32_t bytes, afa::sim::EventFn)>;
+    using TransportFn = std::function<void(
+        std::uint32_t bytes, std::uint64_t io, afa::sim::EventFn)>;
 
     Controller(afa::sim::Simulator &simulator,
                std::string controller_name,
@@ -88,6 +94,10 @@ class Controller : public afa::sim::SimObject
     /** Configure the queue pair count (host driver does at probe). */
     void setQueuePairs(unsigned count) { numQueuePairs = count; }
 
+    /** Attach the span log; spans use @p track (this SSD's). Also
+     *  wires the FTL and NAND layers underneath. */
+    void setSpanLog(afa::obs::SpanLog *log, std::uint16_t track);
+
     Ftl &ftl() { return ftlLayer; }
     const Ftl &ftl() const { return ftlLayer; }
     SmartEngine &smart() { return smartEngine; }
@@ -112,6 +122,8 @@ class Controller : public afa::sim::SimObject
     std::uint64_t lastWriteEndLba;
 
     ControllerStats ctrlStats;
+    afa::obs::SpanLog *spanLog = nullptr;
+    std::uint16_t spanTrack = 0;
 
     void serveRead(const NvmeCommand &cmd);
     void serveWrite(const NvmeCommand &cmd);
@@ -119,8 +131,9 @@ class Controller : public afa::sim::SimObject
     void serveFormat(const NvmeCommand &cmd);
     void serveLogPage(const NvmeCommand &cmd);
 
-    /** Pass through the command pipeline; returns its exit tick. */
-    Tick throughPipeline(Tick proc_time);
+    /** Pass through the command pipeline; returns its exit tick.
+     *  @p io tags the queue-wait and SMART-stall spans. */
+    Tick throughPipeline(Tick proc_time, std::uint64_t io = 0);
 
     /** Reserve the internal DMA engine from @p ready; returns end. */
     Tick throughXfer(Tick ready, std::uint32_t bytes);

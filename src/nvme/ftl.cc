@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::nvme {
@@ -291,14 +292,18 @@ Ftl::flush(DoneFn done)
 }
 
 void
-Ftl::readMapped(std::uint64_t lba, DoneFn done)
+Ftl::readMapped(std::uint64_t lba, DoneFn done, std::uint64_t io)
 {
     if (!isMapped(lba))
         afa::sim::panic("%s: readMapped on unmapped lba %llu",
                         name().c_str(), (unsigned long long)lba);
     ++ftlStats.hostReadsMapped;
-    nand.read(slotToAddr(map[lba]), kLogicalBlockBytes,
-              std::move(done));
+    Tick begin = now();
+    Tick nand_done = nand.read(slotToAddr(map[lba]),
+                               kLogicalBlockBytes, std::move(done), io);
+    if (spanLog && spanLog->wants(afa::obs::Category::Ftl))
+        spanLog->record(afa::obs::Stage::FtlRead, io, begin, nand_done,
+                        spanTrack);
 }
 
 void

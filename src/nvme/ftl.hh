@@ -27,6 +27,10 @@
 #include "nvme/command.hh"
 #include "sim/sim_object.hh"
 
+namespace afa::obs {
+class SpanLog;
+} // namespace afa::obs
+
 namespace afa::nvme {
 
 using afa::sim::Tick;
@@ -80,9 +84,19 @@ class Ftl : public afa::sim::SimObject
     /**
      * Read a mapped logical block from NAND. The caller must ensure
      * isMapped(lba); unmapped reads take the controller's zero-fill
-     * fast path instead.
+     * fast path instead. @p io tags the obs spans this read emits.
      */
-    void readMapped(std::uint64_t lba, DoneFn done);
+    void readMapped(std::uint64_t lba, DoneFn done,
+                    std::uint64_t io = 0);
+
+    /** Attach the span log; spans use @p track (the owning SSD's). */
+    void
+    setSpanLog(afa::obs::SpanLog *log, std::uint16_t track)
+    {
+        spanLog = log;
+        spanTrack = track;
+        nand.setSpanLog(log, track);
+    }
 
     /**
      * Write a logical block. @p on_buffered fires when the data is
@@ -167,6 +181,8 @@ class Ftl : public afa::sim::SimObject
     bool writeStructuresReady;
 
     FtlStats ftlStats;
+    afa::obs::SpanLog *spanLog = nullptr;
+    std::uint16_t spanTrack = 0;
 
     void ensureWriteStructures();
     bool canAdmitWrite() const;

@@ -42,7 +42,7 @@ SmartEngine::collect()
     if (is_save)
         ++numSaves;
     stallFor(duration);
-    if (tracer)
+    if (tracer && tracer->enabled("nvme.smart"))
         tracer->record(now(), "nvme.smart",
                        afa::sim::strfmt("%s %s stall %.1f us",
                                         name().c_str(),

@@ -1,0 +1,249 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/logging.hh"
+#include "stats/json.hh"
+
+namespace afa::obs {
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    // Both sides are name-ordered; classic sorted merge.
+    std::vector<MetricSample> merged;
+    merged.reserve(samples.size() + other.samples.size());
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < samples.size() || b < other.samples.size()) {
+        if (b >= other.samples.size() ||
+            (a < samples.size() &&
+             samples[a].name < other.samples[b].name)) {
+            merged.push_back(samples[a++]);
+            continue;
+        }
+        if (a >= samples.size() ||
+            other.samples[b].name < samples[a].name) {
+            merged.push_back(other.samples[b++]);
+            continue;
+        }
+        // Same name: combine.
+        MetricSample s = samples[a++];
+        const MetricSample &o = other.samples[b++];
+        switch (s.kind) {
+          case MetricKind::Counter:
+            s.count += o.count;
+            break;
+          case MetricKind::Gauge:
+            s.value = std::max(s.value, o.value);
+            break;
+          case MetricKind::Histogram: {
+            s.count += o.count;
+            s.value += o.value;
+            s.histMax = std::max(s.histMax, o.histMax);
+            std::map<unsigned, std::uint64_t> combined(
+                s.buckets.begin(), s.buckets.end());
+            for (const auto &[idx, n] : o.buckets)
+                combined[idx] += n;
+            s.buckets.assign(combined.begin(), combined.end());
+            break;
+          }
+        }
+        merged.push_back(std::move(s));
+    }
+    samples = std::move(merged);
+}
+
+const MetricSample *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const MetricSample &s : samples)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const MetricSample *s = find(name);
+    return s ? s->count : 0;
+}
+
+std::string
+MetricsSnapshot::toJson(const std::string &indent) const
+{
+    std::string json = "{\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const MetricSample &s = samples[i];
+        json += indent + "  \"" +
+            afa::stats::jsonEscape(s.name) + "\": ";
+        switch (s.kind) {
+          case MetricKind::Counter:
+            json += afa::sim::strfmt("%llu",
+                                     (unsigned long long)s.count);
+            break;
+          case MetricKind::Gauge:
+            json += afa::sim::strfmt("%.6g", s.value);
+            break;
+          case MetricKind::Histogram: {
+            json += afa::sim::strfmt(
+                "{\"count\": %llu, \"sum\": %.6g, \"max\": %llu, "
+                "\"log2_buckets\": [",
+                (unsigned long long)s.count, s.value,
+                (unsigned long long)s.histMax);
+            for (std::size_t j = 0; j < s.buckets.size(); ++j)
+                json += afa::sim::strfmt(
+                    "%s[%u, %llu]", j ? ", " : "", s.buckets[j].first,
+                    (unsigned long long)s.buckets[j].second);
+            json += "]}";
+            break;
+          }
+        }
+        json += i + 1 < samples.size() ? ",\n" : "\n";
+    }
+    json += indent + "}";
+    return json;
+}
+
+afa::stats::Table
+MetricsSnapshot::table() const
+{
+    afa::stats::Table table({"metric", "kind", "value"});
+    for (const MetricSample &s : samples) {
+        std::string value;
+        switch (s.kind) {
+          case MetricKind::Counter:
+            value = afa::stats::Table::num(s.count);
+            break;
+          case MetricKind::Gauge:
+            value = afa::stats::Table::num(s.value, 3);
+            break;
+          case MetricKind::Histogram:
+            value = afa::sim::strfmt(
+                "n=%llu mean=%.1f max=%llu",
+                (unsigned long long)s.count,
+                s.count ? s.value / static_cast<double>(s.count) : 0.0,
+                (unsigned long long)s.histMax);
+            break;
+        }
+        table.addRow({s.name, metricKindName(s.kind),
+                      std::move(value)});
+    }
+    return table;
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+MetricsRegistry::Cell &
+MetricsRegistry::cell(const std::string &name, MetricKind kind)
+{
+    Cell &c = cells[name];
+    if (c.count == 0 && c.value == 0.0 && c.buckets.empty())
+        c.kind = kind;
+    else if (c.kind != kind)
+        afa::sim::panic("metrics: '%s' re-registered as %s (was %s)",
+                        name.c_str(), metricKindName(kind),
+                        metricKindName(c.kind));
+    return c;
+}
+
+void
+MetricsRegistry::addCounter(const std::string &name,
+                            std::uint64_t delta)
+{
+    afa::sync::MutexLock lock(mutex);
+    cell(name, MetricKind::Counter).count += delta;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    afa::sync::MutexLock lock(mutex);
+    cell(name, MetricKind::Gauge).value = value;
+}
+
+void
+MetricsRegistry::recordValue(const std::string &name,
+                             std::uint64_t value)
+{
+    afa::sync::MutexLock lock(mutex);
+    Cell &c = cell(name, MetricKind::Histogram);
+    ++c.count;
+    c.value += static_cast<double>(value);
+    c.histMax = std::max(c.histMax, value);
+    ++c.buckets[static_cast<unsigned>(std::bit_width(value))];
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    afa::sync::MutexLock lock(mutex);
+    snap.samples.reserve(cells.size());
+    for (const auto &[name, c] : cells) {
+        MetricSample s;
+        s.name = name;
+        s.kind = c.kind;
+        s.count = c.count;
+        s.value = c.value;
+        s.histMax = c.histMax;
+        s.buckets.assign(c.buckets.begin(), c.buckets.end());
+        snap.samples.push_back(std::move(s));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::absorb(const MetricsSnapshot &snap)
+{
+    afa::sync::MutexLock lock(mutex);
+    for (const MetricSample &s : snap.samples) {
+        Cell &c = cell(s.name, s.kind);
+        switch (s.kind) {
+          case MetricKind::Counter:
+            c.count += s.count;
+            break;
+          case MetricKind::Gauge:
+            c.value = std::max(c.value, s.value);
+            break;
+          case MetricKind::Histogram:
+            c.count += s.count;
+            c.value += s.value;
+            c.histMax = std::max(c.histMax, s.histMax);
+            for (const auto &[idx, n] : s.buckets)
+                c.buckets[idx] += n;
+            break;
+        }
+    }
+}
+
+void
+MetricsRegistry::clear()
+{
+    afa::sync::MutexLock lock(mutex);
+    cells.clear();
+}
+
+} // namespace afa::obs

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * MetricsRegistry: the central named-metrics surface.
+ *
+ * Components keep their cheap ad-hoc stats structs (FabricStats,
+ * IrqStats, ...) for hot-path counting; at the end of a run the
+ * experiment runner publishes them into one registry of named
+ * counters, gauges and log2-bucket histograms. The registry is the
+ * single exposure point: its snapshot embeds into the --metrics-json
+ * artifacts, prints as a table, and merges deterministically across
+ * geometry runs and seed replicas.
+ *
+ * Naming convention: "<component>.<metric>", e.g.
+ * "fabric.fast_path_packets", "irq.remote_deliveries",
+ * "sched.cstate_wakes", "obs.span_drops".
+ *
+ * Thread safety: the registry is internally synchronised (annotated
+ * like RunMetricsLog) so concurrent workers may publish into a shared
+ * instance; snapshots are plain copyable data ordered by name, so
+ * everything downstream is deterministic.
+ */
+
+#ifndef AFA_OBS_METRICS_HH
+#define AFA_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sync.hh"
+#include "core/thread_annotations.hh"
+#include "stats/table.hh"
+
+namespace afa::obs {
+
+/** What a registry cell holds. */
+enum class MetricKind : std::uint8_t {
+    Counter,   ///< monotonically accumulated integer
+    Gauge,     ///< last-set floating point value
+    Histogram, ///< log2-bucket distribution of recorded values
+};
+
+/** The name of a metric kind. */
+const char *metricKindName(MetricKind kind);
+
+/** One metric in a snapshot (plain data, copyable). */
+struct MetricSample
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t count = 0; ///< counter value / histogram count
+    double value = 0.0;      ///< gauge value / histogram sum
+    std::uint64_t histMax = 0;
+    /** Sparse (bucket index, count) pairs, ascending by index;
+     *  bucket i holds values with bit_width(v) == i. */
+    std::vector<std::pair<unsigned, std::uint64_t>> buckets;
+};
+
+/** A point-in-time copy of a registry, ordered by metric name. */
+struct MetricsSnapshot
+{
+    std::vector<MetricSample> samples;
+
+    /** Counters and histograms add; gauges keep the larger value. */
+    void merge(const MetricsSnapshot &other);
+
+    /** Lookup by exact name (nullptr when absent). */
+    const MetricSample *find(const std::string &name) const;
+
+    /** Value of a counter (0 when absent). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** JSON object string, every label escaped via stats::jsonEscape. */
+    std::string toJson(const std::string &indent = "") const;
+
+    /** name | kind | value table. */
+    afa::stats::Table table() const;
+
+    bool empty() const { return samples.empty(); }
+};
+
+/** The registry. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Add @p delta to the named counter (created at 0). */
+    void addCounter(const std::string &name, std::uint64_t delta)
+        AFA_EXCLUDES(mutex);
+
+    /** Set the named gauge. */
+    void setGauge(const std::string &name, double value)
+        AFA_EXCLUDES(mutex);
+
+    /** Record @p value into the named histogram. */
+    void recordValue(const std::string &name, std::uint64_t value)
+        AFA_EXCLUDES(mutex);
+
+    /** Copy out every cell, ordered by name. */
+    MetricsSnapshot snapshot() const AFA_EXCLUDES(mutex);
+
+    /** Fold a snapshot into this registry (same rules as merge). */
+    void absorb(const MetricsSnapshot &snap) AFA_EXCLUDES(mutex);
+
+    /** Remove every cell. */
+    void clear() AFA_EXCLUDES(mutex);
+
+  private:
+    struct Cell
+    {
+        MetricKind kind = MetricKind::Counter;
+        std::uint64_t count = 0;
+        double value = 0.0;
+        std::uint64_t histMax = 0;
+        std::map<unsigned, std::uint64_t> buckets;
+    };
+
+    mutable afa::sync::Mutex mutex;
+    /** std::map: deterministic name order for snapshots. */
+    std::map<std::string, Cell> cells AFA_GUARDED_BY(mutex);
+
+    Cell &cell(const std::string &name, MetricKind kind)
+        AFA_REQUIRES(mutex);
+};
+
+} // namespace afa::obs
+
+#endif // AFA_OBS_METRICS_HH

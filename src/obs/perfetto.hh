@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event JSON exporter.
+ *
+ * Serialises a SpanLog snapshot into the legacy trace-event format
+ * both chrome://tracing and ui.perfetto.dev load: one process, one
+ * thread ("track") per host CPU and per SSD, each span a complete
+ * ("X") event with microsecond ts/dur and the IO tag, flags and
+ * stage-specific detail in args. Ticks are nanoseconds, so ts/dur
+ * printed with three decimals round-trip exactly.
+ */
+
+#ifndef AFA_OBS_PERFETTO_HH
+#define AFA_OBS_PERFETTO_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/span.hh"
+
+namespace afa::obs {
+
+/** Render @p spans as a trace-event JSON document. */
+std::string perfettoJson(const std::vector<SpanRecord> &spans);
+
+/**
+ * Write perfettoJson() to @p path. Returns false (with a warning)
+ * when the file cannot be written.
+ */
+bool writePerfettoJson(const std::string &path,
+                       const std::vector<SpanRecord> &spans);
+
+} // namespace afa::obs
+
+#endif // AFA_OBS_PERFETTO_HH

@@ -1,0 +1,114 @@
+#include "obs/span.hh"
+
+#include "sim/logging.hh"
+
+namespace afa::obs {
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::Complete:
+        return "complete";
+      case Stage::SubmitQueue:
+        return "submit_queue";
+      case Stage::SchedulerWait:
+        return "sched_wait";
+      case Stage::FabricSubmit:
+        return "fabric_submit";
+      case Stage::FabricComplete:
+        return "fabric_complete";
+      case Stage::ControllerQueue:
+        return "ctrl_queue";
+      case Stage::SmartStall:
+        return "smart_stall";
+      case Stage::MediaRead:
+        return "media_read";
+      case Stage::FtlRead:
+        return "ftl_read";
+      case Stage::NandRead:
+        return "nand_read";
+      case Stage::DeviceXfer:
+        return "device_xfer";
+      case Stage::IrqDeliver:
+        return "irq_deliver";
+    }
+    return "unknown";
+}
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::Workload:
+        return "workload";
+      case Category::Sched:
+        return "sched";
+      case Category::Pcie:
+        return "pcie";
+      case Category::Nvme:
+        return "nvme";
+      case Category::Smart:
+        return "smart";
+      case Category::Ftl:
+        return "ftl";
+      case Category::Nand:
+        return "nand";
+      case Category::Irq:
+        return "irq";
+    }
+    return "unknown";
+}
+
+std::uint32_t
+parseCategories(std::string_view list)
+{
+    static constexpr Category kAll[] = {
+        Category::Workload, Category::Sched, Category::Pcie,
+        Category::Nvme,     Category::Smart, Category::Ftl,
+        Category::Nand,     Category::Irq,
+    };
+
+    std::uint32_t mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = list.size();
+        std::string_view token = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        if (token == "all" || token == "true") {
+            // "true" appears when --trace is passed as a bare flag.
+            mask |= kAllCategories;
+            continue;
+        }
+        bool found = false;
+        for (Category c : kAll) {
+            if (token == categoryName(c)) {
+                mask |= categoryBit(c);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            afa::sim::fatal(
+                "--trace: unknown category '%.*s' (categories: "
+                "workload sched pcie nvme smart ftl nand irq, or all)",
+                static_cast<int>(token.size()), token.data());
+    }
+    return mask;
+}
+
+std::string
+trackName(std::uint16_t track)
+{
+    if (track == 0)
+        return "global";
+    if (track >= 0x1000)
+        return afa::sim::strfmt("nvme%u", track - 0x1000);
+    return afa::sim::strfmt("cpu%u", track - 1);
+}
+
+} // namespace afa::obs

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <deque>
 
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::pcie {
@@ -202,6 +203,9 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
     ++fabricStats.packets;
     fabricStats.bytes += bytes;
     if (src == dst) {
+        if (curIo)
+            spanLog->record(curStage, curIo, now(), now(), curTrack,
+                            afa::obs::kSpanFlagSelf);
         after(0, std::move(on_delivered));
         return;
     }
@@ -230,6 +234,12 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
         for (std::uint32_t i = first; /**/; ++i) {
             if (i == last) {
                 ++fabricStats.fastPathPackets;
+                // Span committed at the computed arrival; a later
+                // displacement moves the true delivery but not this
+                // record (see sendSpanned() in the header).
+                if (curIo)
+                    spanLog->record(curStage, curIo, curBegin, when,
+                                    curTrack, afa::obs::kSpanFlagFastPath);
                 if (rec_idx == kNoFlight) {
                     // Single-hop route: no future reservation exists,
                     // so nothing could ever displace this delivery.
@@ -424,6 +434,12 @@ Fabric::cutReservations(std::size_t link_idx, std::size_t pos,
 void
 Fabric::displaceEarlier(std::size_t link_idx, Tick enter)
 {
+    // A displacement can run inside another packet's sendSpanned()
+    // (hop() is called synchronously on the full-fallback path). The
+    // chainWrap() below re-wraps *displaced* packets' callbacks; they
+    // must not inherit the displacing sender's span identity.
+    std::uint64_t saved_io = curIo;
+    curIo = 0;
     std::vector<std::uint32_t> work;
     std::vector<std::uint32_t> all;
     auto &resv = linkResv[link_idx];
@@ -471,6 +487,7 @@ Fabric::displaceEarlier(std::size_t link_idx, Tick enter)
         rec.ev = at(rec.displacedStart,
                     [this, ri] { completeFlight(ri); });
     }
+    curIo = saved_io;
 }
 
 /**
@@ -482,10 +499,40 @@ Fabric::chainWrap(EventFn on_delivered)
 {
     ++fabricStats.fallbackPackets;
     ++chainInFlight;
+    if (curIo) {
+        // Fallback spans get their real delivery tick: the record is
+        // committed when the wrapped callback fires.
+        return EventFn([this, cb = std::move(on_delivered), io = curIo,
+                        track = curTrack, stage = curStage,
+                        begin = curBegin]() mutable {
+            --chainInFlight;
+            spanLog->record(stage, io, begin, now(), track,
+                            afa::obs::kSpanFlagFallback);
+            cb();
+        });
+    }
     return EventFn([this, cb = std::move(on_delivered)]() mutable {
         --chainInFlight;
         cb();
     });
+}
+
+void
+Fabric::sendSpanned(NodeId src, NodeId dst, std::uint32_t bytes,
+                    std::uint64_t io, std::uint16_t track,
+                    afa::obs::Stage stage, EventFn on_delivered)
+{
+    if (spanLog && io != 0 &&
+        spanLog->wants(afa::obs::categoryOf(stage))) {
+        curIo = io;
+        curTrack = track;
+        curStage = stage;
+        curBegin = now();
+        send(src, dst, bytes, std::move(on_delivered));
+        curIo = 0;
+        return;
+    }
+    send(src, dst, bytes, std::move(on_delivered));
 }
 
 Tick

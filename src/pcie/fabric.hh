@@ -31,8 +31,13 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hh"
 #include "pcie/link.hh"
 #include "sim/sim_object.hh"
+
+namespace afa::obs {
+class SpanLog;
+} // namespace afa::obs
 
 namespace afa::pcie {
 
@@ -93,6 +98,27 @@ class Fabric : public afa::sim::SimObject
      */
     void send(NodeId src, NodeId dst, std::uint32_t bytes,
               afa::sim::EventFn on_delivered);
+
+    /**
+     * send() that also records an obs transit span [send, deliver]
+     * for IO @p io on @p track. The span's flags say how the packet
+     * travelled: self-send, single-event fast path, or per-hop
+     * fallback. No-op wrapper around send() when the span log is
+     * absent, the pcie category is disabled, or @p io is 0.
+     *
+     * Fast-path spans are committed at send time with the computed
+     * arrival tick; in the rare case the packet is later displaced
+     * into the per-hop model its true delivery moves later and the
+     * recorded span keeps the optimistic end (the *simulation* stays
+     * exact — only this telemetry record is approximate).
+     */
+    void sendSpanned(NodeId src, NodeId dst, std::uint32_t bytes,
+                     std::uint64_t io, std::uint16_t track,
+                     afa::obs::Stage stage,
+                     afa::sim::EventFn on_delivered);
+
+    /** Attach (or detach, with nullptr) the span log. */
+    void setSpanLog(afa::obs::SpanLog *log) { spanLog = log; }
 
     /**
      * Estimated unloaded delivery latency (no queueing) for planning
@@ -235,6 +261,19 @@ class Fabric : public afa::sim::SimObject
      */
     std::uint64_t chainInFlight = 0;
     FabricStats fabricStats;
+    afa::obs::SpanLog *spanLog = nullptr;
+    /**
+     * Span context of the sendSpanned() currently executing (io 0 =
+     * none). Valid only for the synchronous extent of send(): the
+     * commit points (self-send, fast-path walk, chainWrap()) read it
+     * to stamp their span records. displaceEarlier() zeroes it while
+     * re-wrapping *other* packets' callbacks so a displaced packet
+     * never inherits the displacing sender's identity.
+     */
+    std::uint64_t curIo = 0;
+    Tick curBegin = 0;
+    std::uint16_t curTrack = 0;
+    afa::obs::Stage curStage = afa::obs::Stage::FabricSubmit;
 
     std::size_t
     pathIndex(NodeId src, NodeId dst) const

@@ -3,32 +3,35 @@
 namespace afa::sim {
 
 void
-Tracer::enable(const std::string &category)
+Tracer::enable(std::string_view category)
 {
-    enabledCategories.insert(category);
+    enabledCategories.emplace(category);
 }
 
 void
-Tracer::disable(const std::string &category)
+Tracer::disable(std::string_view category)
 {
-    enabledCategories.erase(category);
+    auto it = enabledCategories.find(category);
+    if (it != enabledCategories.end())
+        enabledCategories.erase(it);
 }
 
 bool
-Tracer::matches(const std::string &pattern, const std::string &category)
+Tracer::matches(std::string_view pattern, std::string_view category)
 {
     if (pattern == category)
         return true;
-    // Prefix match at a dot boundary: "irq" matches "irq.balance".
+    // Prefix match at a dot boundary: "irq" matches "irq.balance"
+    // but not "irqx".
     if (category.size() > pattern.size() &&
-        category.compare(0, pattern.size(), pattern) == 0 &&
+        category.substr(0, pattern.size()) == pattern &&
         category[pattern.size()] == '.')
         return true;
     return false;
 }
 
 bool
-Tracer::enabled(const std::string &category) const
+Tracer::enabled(std::string_view category) const
 {
     if (allEnabled)
         return true;
@@ -40,24 +43,27 @@ Tracer::enabled(const std::string &category) const
 }
 
 void
-Tracer::record(Tick when, const std::string &category,
-               std::string message)
+Tracer::record(Tick when, std::string_view category,
+               std::string_view message)
 {
     if (!enabled(category))
         return;
     if (echoFile) {
-        std::fprintf(echoFile, "[%12.3f us] %-16s %s\n",
-                     toUsec(when), category.c_str(), message.c_str());
+        std::fprintf(echoFile, "[%12.3f us] %-16.*s %.*s\n",
+                     toUsec(when), (int)category.size(),
+                     category.data(), (int)message.size(),
+                     message.data());
     }
     if (recordsBuf.size() >= maxRecords) {
         recordsBuf.pop_front();
         ++numDropped;
     }
-    recordsBuf.push_back(TraceRecord{when, category, std::move(message)});
+    recordsBuf.push_back(TraceRecord{when, std::string(category),
+                                     std::string(message)});
 }
 
 std::vector<TraceRecord>
-Tracer::filtered(const std::string &category) const
+Tracer::filtered(std::string_view category) const
 {
     std::vector<TraceRecord> out;
     for (const auto &rec : recordsBuf) {

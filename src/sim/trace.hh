@@ -7,6 +7,12 @@
  * category is enabled; tests and the ssd_profiler example use it to
  * attribute latency to scheduler and IRQ activity, exactly the way the
  * paper used LTTng to find misplaced IRQ handlers.
+ *
+ * This is the *diagnostic* tracer: records carry free-form message
+ * strings, so call sites must gate message formatting on enabled()
+ * (or anyEnabled()) to avoid paying for strings nobody keeps. The
+ * per-IO hot path uses obs::SpanLog instead, whose records are packed
+ * PODs and whose disabled path is a single mask test.
  */
 
 #ifndef AFA_SIM_TRACE_HH
@@ -16,6 +22,7 @@
 #include <deque>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/types.hh"
@@ -34,8 +41,8 @@ struct TraceRecord
  * Collects trace records for enabled categories.
  *
  * Category matching is by exact name or dotted-prefix: enabling "irq"
- * also captures "irq.balance". Records are kept in a bounded deque;
- * the oldest records are dropped past the capacity.
+ * also captures "irq.balance" but not "irqx". Records are kept in a
+ * bounded deque; the oldest records are dropped past the capacity.
  */
 class Tracer
 {
@@ -46,20 +53,31 @@ class Tracer
     }
 
     /** Enable a category (and its dotted children). */
-    void enable(const std::string &category);
+    void enable(std::string_view category);
 
     /** Disable a previously enabled category. */
-    void disable(const std::string &category);
+    void disable(std::string_view category);
 
     /** Enable every category. */
     void enableAll() { allEnabled = true; }
 
     /** True when records for @p category would be kept. */
-    bool enabled(const std::string &category) const;
+    bool enabled(std::string_view category) const;
 
-    /** Emit a record (no-op when the category is disabled). */
-    void record(Tick when, const std::string &category,
-                std::string message);
+    /** True when any category at all is enabled (cheap pre-gate). */
+    bool anyEnabled() const
+    {
+        return allEnabled || !enabledCategories.empty();
+    }
+
+    /**
+     * Emit a record (no-op when the category is disabled). Accepts
+     * string_views so disabled-category calls never build a
+     * std::string, but note the *message* argument is usually the
+     * product of strfmt(): gate that on enabled() at the call site.
+     */
+    void record(Tick when, std::string_view category,
+                std::string_view message);
 
     /** Also echo records to a FILE* as they arrive (nullptr to stop). */
     void echoTo(std::FILE *file) { echoFile = file; }
@@ -68,7 +86,7 @@ class Tracer
     const std::deque<TraceRecord> &records() const { return recordsBuf; }
 
     /** Records in @p category (prefix-matched), oldest first. */
-    std::vector<TraceRecord> filtered(const std::string &category) const;
+    std::vector<TraceRecord> filtered(std::string_view category) const;
 
     /** Count of records dropped due to the capacity bound. */
     std::uint64_t dropped() const { return numDropped; }
@@ -77,10 +95,11 @@ class Tracer
     void clear();
 
   private:
-    static bool matches(const std::string &pattern,
-                        const std::string &category);
+    static bool matches(std::string_view pattern,
+                        std::string_view category);
 
-    std::set<std::string> enabledCategories;
+    /** std::less<> enables heterogeneous string_view lookups. */
+    std::set<std::string, std::less<>> enabledCategories;
     bool allEnabled = false;
     std::deque<TraceRecord> recordsBuf;
     std::size_t maxRecords;

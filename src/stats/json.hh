@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shared JSON string escaping for every emitter that interpolates
+ * labels (run-metrics JSON, the metrics registry, the Perfetto trace
+ * exporter). One helper so no emitter ships raw quotes, backslashes
+ * or control characters into an artifact a parser chokes on.
+ */
+
+#ifndef AFA_STATS_JSON_HH
+#define AFA_STATS_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace afa::stats {
+
+/**
+ * Escape @p text for inclusion inside a JSON string literal (the
+ * surrounding quotes are the caller's): ", \ and control characters
+ * become their \-escapes (\uXXXX for the control characters without a
+ * short form).
+ */
+std::string jsonEscape(std::string_view text);
+
+} // namespace afa::stats
+
+#endif // AFA_STATS_JSON_HH

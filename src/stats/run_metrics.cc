@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "stats/json.hh"
 
 namespace afa::stats {
 
@@ -137,7 +138,7 @@ RunMetricsLog::toJson(double suite_wall_seconds, unsigned jobs) const
             "    {\"index\": %zu, \"label\": \"%s\", \"worker\": %u, "
             "\"events\": %llu, \"wall_seconds\": %.3f, "
             "\"events_per_sec\": %.0f}%s\n",
-            m.index, m.label.c_str(), m.worker,
+            m.index, jsonEscape(m.label).c_str(), m.worker,
             (unsigned long long)m.events, m.wallSeconds,
             m.eventsPerSec(), i + 1 < all.size() ? "," : "");
     }

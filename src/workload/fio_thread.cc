@@ -1,5 +1,6 @@
 #include "workload/fio_thread.hh"
 
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::workload {
@@ -19,11 +20,17 @@ FioThread::FioThread(afa::sim::Simulator &simulator,
     afa::host::TaskParams tp;
     tp.name = name();
     tp.affinity = fioJob.cpusAllowed;
+    tp.traceSpans = true;
     if (fioJob.rtPriority > 0) {
         tp.klass = afa::host::SchedClass::RealTime;
         tp.rtPriority = fioJob.rtPriority;
     }
     task = sched.createTask(tp);
+
+    slots.resize(fioJob.ioDepth);
+    freeSlots.reserve(fioJob.ioDepth);
+    for (std::uint32_t s = fioJob.ioDepth; s-- > 0;)
+        freeSlots.push_back(s);
 
     std::uint64_t capacity = engine.deviceBlocks(dev);
     rangeStart = fioJob.offsetBlocks;
@@ -92,7 +99,8 @@ FioThread::maybeSubmit()
     }
     while (inflight < fioJob.ioDepth) {
         ++inflight;
-        enqueueWork(fioJob.submitCost, [this] { issueOne(); });
+        enqueueWork(fioJob.submitCost,
+                    [this, enq = now()] { issueOne(enq); });
     }
 }
 
@@ -130,7 +138,7 @@ FioThread::nextRequest()
 }
 
 void
-FioThread::issueOne()
+FioThread::issueOne(Tick enqueued_at)
 {
     IoRequest req = nextRequest();
     ++threadStats.submitted;
@@ -138,54 +146,70 @@ FioThread::issueOne()
         threadStats.writeBytes += req.bytes;
     else
         threadStats.readBytes += req.bytes;
-    Tick submit_tick = now();
+
+    std::uint32_t slot = freeSlots.back();
+    freeSlots.pop_back();
+    IoSlot &io = slots[slot];
+    io.submitTick = now();
+    // Tag: (task+1) in the high half keeps tags unique across
+    // threads; the low half is this thread's sequence number.
+    io.tag = (static_cast<std::uint64_t>(task + 1) << 32) | ++ioSeq;
+    req.tag = io.tag;
+
     unsigned cpu = sched.taskCpu(task);
+    if (spanLog && spanLog->wants(afa::obs::Category::Workload))
+        spanLog->record(afa::obs::Stage::SubmitQueue, io.tag,
+                        enqueued_at, now(), afa::obs::cpuTrack(cpu));
     if (fioJob.polling) {
         pollCompleteFlag = false;
         engine.submit(cpu, req,
                       [this](unsigned) { pollCompleteFlag = true; });
-        pollStep(submit_tick);
+        pollStep(slot);
         return;
     }
-    engine.submit(cpu, req,
-                  [this, submit_tick](unsigned handler_cpu) {
-                      onDeviceComplete(submit_tick, handler_cpu);
-                  });
-}
-
-void
-FioThread::pollStep(Tick submit_tick)
-{
-    enqueueWork(fioJob.pollQuantum, [this, submit_tick] {
-        if (!pollCompleteFlag) {
-            pollStep(submit_tick);
-            return;
-        }
-        finishIo(submit_tick);
+    engine.submit(cpu, req, [this, slot](unsigned handler_cpu) {
+        onDeviceComplete(slot, handler_cpu);
     });
 }
 
 void
-FioThread::onDeviceComplete(Tick submit_tick, unsigned handler_cpu)
+FioThread::pollStep(std::uint32_t slot)
+{
+    enqueueWork(fioJob.pollQuantum, [this, slot] {
+        if (!pollCompleteFlag) {
+            pollStep(slot);
+            return;
+        }
+        finishIo(slot);
+    });
+}
+
+void
+FioThread::onDeviceComplete(std::uint32_t slot, unsigned handler_cpu)
 {
     // Completion handled on a remote CPU needs an IPI to wake us.
     Tick ipi = 0;
     if (handler_cpu != sched.taskCpu(task))
         ipi = sched.config().irq.ipiCost;
-    after(ipi, [this, submit_tick] {
-        enqueueWork(fioJob.reapCost,
-                    [this, submit_tick] { finishIo(submit_tick); });
+    after(ipi, [this, slot] {
+        enqueueWork(fioJob.reapCost, [this, slot] { finishIo(slot); });
     });
 }
 
 void
-FioThread::finishIo(Tick submit_tick)
+FioThread::finishIo(std::uint32_t slot)
 {
-    Tick latency = now() - submit_tick;
+    IoSlot &io = slots[slot];
+    Tick latency = now() - io.submitTick;
     hist.record(latency);
     if (scatter)
         scatter->record(now(), latency,
                         static_cast<std::uint32_t>(dev));
+    if (spanLog && spanLog->wants(afa::obs::Category::Workload))
+        spanLog->record(afa::obs::Stage::Complete, io.tag,
+                        io.submitTick, now(), afa::obs::ssdTrack(dev),
+                        0, fioJob.blockSize);
+    freeSlots.push_back(slot);
     ++threadStats.completed;
     if (inflight == 0)
         afa::sim::panic("%s: inflight underflow", name().c_str());

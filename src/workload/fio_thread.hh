@@ -15,6 +15,7 @@
 #define AFA_WORKLOAD_FIO_THREAD_HH
 
 #include <deque>
+#include <vector>
 
 #include "host/scheduler.hh"
 #include "sim/sim_object.hh"
@@ -22,6 +23,10 @@
 #include "stats/scatter_log.hh"
 #include "workload/fio_job.hh"
 #include "workload/io_engine.hh"
+
+namespace afa::obs {
+class SpanLog;
+} // namespace afa::obs
 
 namespace afa::workload {
 
@@ -55,6 +60,9 @@ class FioThread : public afa::sim::SimObject
         scatter = log;
     }
 
+    /** Attach the obs span log; nullptr detaches. */
+    void attachSpanLog(afa::obs::SpanLog *log) { spanLog = log; }
+
     const FioThreadStats &stats() const { return threadStats; }
     const FioJob &job() const { return fioJob; }
     unsigned device() const { return dev; }
@@ -76,6 +84,7 @@ class FioThread : public afa::sim::SimObject
     afa::host::TaskId task;
     afa::stats::Histogram hist;
     afa::stats::ScatterLog *scatter;
+    afa::obs::SpanLog *spanLog = nullptr;
     FioThreadStats threadStats;
 
     afa::sim::Tick endTime;
@@ -95,15 +104,29 @@ class FioThread : public afa::sim::SimObject
     };
     std::deque<WorkItem> workQueue;
 
+    /**
+     * One in-flight IO. Completion callbacks capture only [this,
+     * slot-index] -- small enough for std::function's inline buffer,
+     * so the submit path stays allocation-free with the per-IO tag
+     * and timestamps parked here instead of in the closure.
+     */
+    struct IoSlot
+    {
+        afa::sim::Tick submitTick = 0;
+        std::uint64_t tag = 0;
+    };
+    std::vector<IoSlot> slots;          ///< ioDepth entries
+    std::vector<std::uint32_t> freeSlots;
+    std::uint32_t ioSeq = 0;            ///< per-thread tag sequence
+
     void pump();
     void enqueueWork(afa::sim::Tick cost, afa::sim::EventFn then);
     void maybeSubmit();
-    void issueOne();
+    void issueOne(afa::sim::Tick enqueued_at);
     IoRequest nextRequest();
-    void onDeviceComplete(afa::sim::Tick submit_tick,
-                          unsigned handler_cpu);
-    void pollStep(afa::sim::Tick submit_tick);
-    void finishIo(afa::sim::Tick submit_tick);
+    void onDeviceComplete(std::uint32_t slot, unsigned handler_cpu);
+    void pollStep(std::uint32_t slot);
+    void finishIo(std::uint32_t slot);
 
     bool pollCompleteFlag = false;
 };

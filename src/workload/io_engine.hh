@@ -24,6 +24,9 @@ struct IoRequest
     afa::nvme::Op op = afa::nvme::Op::Read;
     std::uint64_t lba = 0;
     std::uint32_t bytes = 4096;
+    /** Observability tag threaded through every span this IO emits
+     *  (0 = untagged). Never interpreted by the device models. */
+    std::uint64_t tag = 0;
 };
 
 /**

@@ -81,8 +81,10 @@ class ControllerTest : public ::testing::Test
         ctrl = std::make_unique<Controller>(*sim, "nvme0", fw, *nand,
                                             testFtl());
         ctrl->setTransport(
-            [this](std::uint32_t bytes, afa::sim::EventFn fn) {
+            [this](std::uint32_t bytes, std::uint64_t io,
+                   afa::sim::EventFn fn) {
                 (void)bytes;
+                (void)io;
                 sim->scheduleAfter(transportDelay, std::move(fn));
             });
         ctrl->setCompletionHandler([this](const NvmeCompletion &c) {

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Attribution accumulator tests: exact totals, merge associativity,
+ * the coarse log2 quantile, and the report table's share-of-IO
+ * arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/attribution.hh"
+
+using namespace afa::obs;
+
+namespace {
+
+TEST(StageTotalsTest, AddTracksCountTotalMax)
+{
+    StageTotals t;
+    t.add(10);
+    t.add(30);
+    t.add(20);
+    EXPECT_EQ(t.count, 3u);
+    EXPECT_EQ(t.totalTicks, 60u);
+    EXPECT_EQ(t.maxTicks, 30u);
+    EXPECT_DOUBLE_EQ(t.meanTicks(), 20.0);
+}
+
+TEST(StageTotalsTest, QuantileFindsTheRightBucket)
+{
+    StageTotals t;
+    // 99 short spans (~100 ticks: bucket 7, upper bound 127) and one
+    // huge one (~1e6 ticks: bucket 20, upper bound 2^20 - 1).
+    for (int i = 0; i < 99; ++i)
+        t.add(100);
+    t.add(1000000);
+    EXPECT_EQ(t.approxQuantileTicks(0.5), 127u);
+    EXPECT_EQ(t.approxQuantileTicks(0.99), (Tick(1) << 20) - 1);
+    EXPECT_EQ(t.approxQuantileTicks(0.0), 127u);
+}
+
+TEST(StageTotalsTest, EmptyQuantileIsZero)
+{
+    StageTotals t;
+    EXPECT_EQ(t.approxQuantileTicks(0.99), 0u);
+    EXPECT_DOUBLE_EQ(t.meanTicks(), 0.0);
+}
+
+TEST(StageTotalsTest, MergeEqualsSequentialAdds)
+{
+    StageTotals a;
+    StageTotals b;
+    StageTotals both;
+    for (Tick d : {5u, 50u, 500u}) {
+        a.add(d);
+        both.add(d);
+    }
+    for (Tick d : {7u, 70u, 700000u}) {
+        b.add(d);
+        both.add(d);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count, both.count);
+    EXPECT_EQ(a.totalTicks, both.totalTicks);
+    EXPECT_EQ(a.maxTicks, both.maxTicks);
+    EXPECT_EQ(a.buckets, both.buckets);
+}
+
+TEST(AttributionTest, EmptyUntilFirstAdd)
+{
+    Attribution attr;
+    EXPECT_TRUE(attr.empty());
+    attr.add(Stage::MediaRead, 10);
+    EXPECT_FALSE(attr.empty());
+    EXPECT_EQ(attr.stage(Stage::MediaRead).count, 1u);
+    EXPECT_EQ(attr.stage(Stage::Complete).count, 0u);
+}
+
+TEST(AttributionTest, MergeCombinesPerStage)
+{
+    Attribution a;
+    a.add(Stage::Complete, 100);
+    a.add(Stage::SchedulerWait, 40);
+    Attribution b;
+    b.add(Stage::Complete, 300);
+    b.add(Stage::IrqDeliver, 10);
+    a.merge(b);
+    EXPECT_EQ(a.stage(Stage::Complete).count, 2u);
+    EXPECT_EQ(a.stage(Stage::Complete).totalTicks, 400u);
+    EXPECT_EQ(a.stage(Stage::SchedulerWait).totalTicks, 40u);
+    EXPECT_EQ(a.stage(Stage::IrqDeliver).totalTicks, 10u);
+}
+
+TEST(AttributionTest, TableSkipsEmptyStagesAndShowsShares)
+{
+    Attribution attr;
+    attr.add(Stage::Complete, 1000);
+    attr.add(Stage::SchedulerWait, 250);
+    std::string text = attr.toText();
+    EXPECT_NE(text.find("complete"), std::string::npos);
+    EXPECT_NE(text.find("sched_wait"), std::string::npos);
+    // 250 / 1000 of the IO total.
+    EXPECT_NE(text.find("25.0"), std::string::npos);
+    // Untouched stages do not produce rows.
+    EXPECT_EQ(text.find("nand_read"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * MetricsRegistry / MetricsSnapshot unit tests: cell kinds, ordered
+ * snapshots, merge semantics (counters add, gauges keep max,
+ * histograms combine), and the JSON emission with label escaping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "sim/logging.hh"
+
+using namespace afa::obs;
+
+namespace {
+
+TEST(MetricsRegistryTest, CountersAccumulate)
+{
+    MetricsRegistry reg;
+    reg.addCounter("fabric.packets", 3);
+    reg.addCounter("fabric.packets", 4);
+    auto snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("fabric.packets"), 7u);
+    EXPECT_EQ(snap.counter("absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugesKeepLastValue)
+{
+    MetricsRegistry reg;
+    reg.setGauge("sched.load", 1.5);
+    reg.setGauge("sched.load", 0.25);
+    auto snap = reg.snapshot();
+    const MetricSample *s = snap.find("sched.load");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, MetricKind::Gauge);
+    EXPECT_DOUBLE_EQ(s->value, 0.25);
+}
+
+TEST(MetricsRegistryTest, HistogramsBucketByLog2)
+{
+    MetricsRegistry reg;
+    reg.recordValue("lat", 0);
+    reg.recordValue("lat", 1);
+    reg.recordValue("lat", 3);
+    reg.recordValue("lat", 1000);
+    auto snap = reg.snapshot();
+    const MetricSample *s = snap.find("lat");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, MetricKind::Histogram);
+    EXPECT_EQ(s->count, 4u);
+    EXPECT_DOUBLE_EQ(s->value, 1004.0);
+    EXPECT_EQ(s->histMax, 1000u);
+    // bit_width: 0->0, 1->1, 3->2, 1000->10.
+    ASSERT_EQ(s->buckets.size(), 4u);
+    EXPECT_EQ(s->buckets[0], std::make_pair(0u, std::uint64_t(1)));
+    EXPECT_EQ(s->buckets[3], std::make_pair(10u, std::uint64_t(1)));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameOrdered)
+{
+    MetricsRegistry reg;
+    reg.addCounter("z.last", 1);
+    reg.addCounter("a.first", 1);
+    reg.addCounter("m.middle", 1);
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.samples.size(), 3u);
+    EXPECT_EQ(snap.samples[0].name, "a.first");
+    EXPECT_EQ(snap.samples[1].name, "m.middle");
+    EXPECT_EQ(snap.samples[2].name, "z.last");
+}
+
+TEST(MetricsRegistryTest, KindMismatchPanics)
+{
+    afa::sim::setThrowOnError(true);
+    MetricsRegistry reg;
+    reg.addCounter("x", 1);
+    EXPECT_THROW(reg.setGauge("x", 1.0), std::runtime_error);
+    afa::sim::setThrowOnError(false);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersKeepsMaxGauge)
+{
+    MetricsRegistry a;
+    a.addCounter("c", 10);
+    a.setGauge("g", 2.0);
+    a.recordValue("h", 4);
+    MetricsRegistry b;
+    b.addCounter("c", 5);
+    b.addCounter("only_b", 1);
+    b.setGauge("g", 1.0);
+    b.recordValue("h", 4);
+
+    MetricsSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.counter("c"), 15u);
+    EXPECT_EQ(merged.counter("only_b"), 1u);
+    EXPECT_DOUBLE_EQ(merged.find("g")->value, 2.0);
+    const MetricSample *h = merged.find("h");
+    EXPECT_EQ(h->count, 2u);
+    ASSERT_EQ(h->buckets.size(), 1u);
+    EXPECT_EQ(h->buckets[0].second, 2u);
+}
+
+TEST(MetricsSnapshotTest, MergeIsCommutativeOnDisjointSets)
+{
+    MetricsRegistry a;
+    a.addCounter("a.n", 1);
+    MetricsRegistry b;
+    b.addCounter("b.n", 2);
+    MetricsSnapshot ab = a.snapshot();
+    ab.merge(b.snapshot());
+    MetricsSnapshot ba = b.snapshot();
+    ba.merge(a.snapshot());
+    ASSERT_EQ(ab.samples.size(), 2u);
+    ASSERT_EQ(ba.samples.size(), 2u);
+    EXPECT_EQ(ab.samples[0].name, ba.samples[0].name);
+    EXPECT_EQ(ab.samples[1].name, ba.samples[1].name);
+}
+
+TEST(MetricsSnapshotTest, AbsorbFoldsBackIntoRegistry)
+{
+    MetricsRegistry a;
+    a.addCounter("c", 3);
+    MetricsRegistry total;
+    total.addCounter("c", 4);
+    total.absorb(a.snapshot());
+    EXPECT_EQ(total.snapshot().counter("c"), 7u);
+}
+
+TEST(MetricsSnapshotTest, ToJsonEscapesLabels)
+{
+    MetricsRegistry reg;
+    reg.addCounter("weird\"name\\with\nstuff", 1);
+    std::string json = reg.snapshot().toJson();
+    // The label reaches the document with every special escaped, so
+    // no raw quote/backslash/newline can break the JSON string.
+    EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"),
+              std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsWellFormedForAllKinds)
+{
+    MetricsRegistry reg;
+    reg.addCounter("c", 1);
+    reg.setGauge("g", 1.25);
+    reg.recordValue("h", 9);
+    std::string json = reg.snapshot().toJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"c\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"g\": 1.25"), std::string::npos);
+    EXPECT_NE(json.find("\"h\""), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Perfetto/Chrome trace-event exporter tests: document structure,
+ * track metadata, microsecond formatting exactness, and a golden
+ * round-trip — the stage durations parsed back out of the JSON must
+ * equal the durations that went in.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/perfetto.hh"
+#include "obs/span_log.hh"
+
+using namespace afa::obs;
+
+namespace {
+
+SpanRecord
+span(Stage stage, std::uint64_t io, Tick begin, Tick end,
+     std::uint16_t track, std::uint8_t flags = 0,
+     std::uint32_t arg = 0)
+{
+    SpanRecord r;
+    r.begin = begin;
+    r.end = end;
+    r.io = io;
+    r.arg = arg;
+    r.track = track;
+    r.stage = static_cast<std::uint8_t>(stage);
+    r.flags = flags;
+    return r;
+}
+
+TEST(PerfettoTest, EmptyTraceIsValidDocument)
+{
+    std::string json = perfettoJson({});
+    EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(PerfettoTest, EmitsThreadNamePerTrack)
+{
+    std::vector<SpanRecord> spans = {
+        span(Stage::Complete, 1, 0, 100, ssdTrack(2)),
+        span(Stage::SchedulerWait, 1, 0, 10, cpuTrack(5)),
+        span(Stage::IrqDeliver, 1, 0, 10, cpuTrack(5)),
+    };
+    std::string json = perfettoJson(spans);
+    // One metadata record per distinct track, named for display.
+    EXPECT_NE(json.find("\"args\": {\"name\": \"cpu5\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\": {\"name\": \"nvme2\"}"),
+              std::string::npos);
+    std::size_t meta = 0;
+    for (std::size_t p = json.find("thread_name");
+         p != std::string::npos; p = json.find("thread_name", p + 1))
+        ++meta;
+    EXPECT_EQ(meta, 2u);
+}
+
+TEST(PerfettoTest, MicrosecondFormattingIsExact)
+{
+    // 1,234,567 ns = 1234.567 us: three decimals, no float rounding.
+    std::vector<SpanRecord> spans = {
+        span(Stage::NandRead, 9, 1234567, 2469134, ssdTrack(0)),
+    };
+    std::string json = perfettoJson(spans);
+    EXPECT_NE(json.find("\"ts\": 1234.567"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 1234.567"), std::string::npos);
+}
+
+TEST(PerfettoTest, FlagsAndArgsAppearInArgs)
+{
+    std::vector<SpanRecord> spans = {
+        span(Stage::FabricComplete, 7, 0, 50, ssdTrack(1),
+             kSpanFlagFastPath, 4096),
+    };
+    std::string json = perfettoJson(spans);
+    EXPECT_NE(json.find("\"io\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"flags\": \"fast_path\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"arg\": 4096"), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"pcie\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"fabric_complete\""),
+              std::string::npos);
+}
+
+TEST(PerfettoTest, GoldenRoundTripOfDurations)
+{
+    // Record a known set of spans through a SpanLog, export, then
+    // parse every "dur" back out of the text and compare the sum per
+    // stage name against what went in.
+    // Whole-microsecond durations parse back to exact doubles.
+    SpanLog log(TraceParams{kAllCategories, 64});
+    Tick nand_total = 0;
+    Tick irq_total = 0;
+    for (Tick i = 1; i <= 10; ++i) {
+        log.record(Stage::NandRead, i, i * 100, i * 100 + i * 3000,
+                   ssdTrack(0));
+        nand_total += i * 3000;
+        log.record(Stage::IrqDeliver, i, i * 200, i * 200 + i * 1000,
+                   cpuTrack(1));
+        irq_total += i * 1000;
+    }
+    std::string json = perfettoJson(log.snapshot());
+
+    auto sum_for = [&json](const char *stage_name) {
+        double total_us = 0.0;
+        std::string needle =
+            std::string("\"name\": \"") + stage_name + "\"";
+        for (std::size_t p = json.find(needle);
+             p != std::string::npos;
+             p = json.find(needle, p + 1)) {
+            std::size_t d = json.find("\"dur\": ", p);
+            total_us += std::strtod(json.c_str() + d + 7, nullptr);
+        }
+        return total_us;
+    };
+    EXPECT_DOUBLE_EQ(sum_for("nand_read") * 1000.0,
+                     static_cast<double>(nand_total));
+    EXPECT_DOUBLE_EQ(sum_for("irq_deliver") * 1000.0,
+                     static_cast<double>(irq_total));
+}
+
+TEST(PerfettoTest, WriteCreatesParseableFile)
+{
+    std::vector<SpanRecord> spans = {
+        span(Stage::Complete, 1, 0, 1000, ssdTrack(0)),
+    };
+    std::string path = ::testing::TempDir() + "perfetto_test.json";
+    ASSERT_TRUE(writePerfettoJson(path, spans));
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), perfettoJson(spans));
+    std::remove(path.c_str());
+}
+
+TEST(PerfettoTest, UnwritablePathReturnsFalse)
+{
+    EXPECT_FALSE(writePerfettoJson("/nonexistent-dir/trace.json", {}));
+}
+
+} // namespace

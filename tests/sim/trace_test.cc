@@ -35,7 +35,46 @@ TEST(TracerTest, PrefixMatchingAtDotBoundary)
     EXPECT_TRUE(t.enabled("irq"));
     EXPECT_TRUE(t.enabled("irq.balance"));
     EXPECT_FALSE(t.enabled("irqstorm")); // not a dot boundary
+    EXPECT_FALSE(t.enabled("irqx"));     // one-char overhang
+    EXPECT_FALSE(t.enabled("ir"));       // shorter than the prefix
     EXPECT_FALSE(t.enabled("sched"));
+}
+
+TEST(TracerTest, ChildEnableDoesNotCoverParentOrSiblings)
+{
+    Tracer t;
+    t.enable("irq.balance");
+    EXPECT_TRUE(t.enabled("irq.balance"));
+    EXPECT_TRUE(t.enabled("irq.balance.scan"));
+    EXPECT_FALSE(t.enabled("irq"));
+    EXPECT_FALSE(t.enabled("irq.deliver"));
+    EXPECT_FALSE(t.enabled("irq.balancer")); // shares the spelling
+}
+
+TEST(TracerTest, AnyEnabledGatesTheHotPath)
+{
+    Tracer t;
+    EXPECT_FALSE(t.anyEnabled());
+    t.enable("sched");
+    EXPECT_TRUE(t.anyEnabled());
+    t.disable("sched");
+    EXPECT_FALSE(t.anyEnabled());
+    t.enableAll();
+    EXPECT_TRUE(t.anyEnabled());
+}
+
+TEST(TracerTest, StringViewLookupDoesNotRequireAllocation)
+{
+    // enabled()/record() take string_view: a category assembled on
+    // the stack must match entries enabled from std::string.
+    Tracer t;
+    t.enable(std::string("nvme.hiccup"));
+    char buf[] = {'n', 'v', 'm', 'e', '.', 'h', 'i', 'c',
+                  'c', 'u', 'p'};
+    EXPECT_TRUE(t.enabled(std::string_view(buf, sizeof(buf))));
+    t.record(5, std::string_view(buf, sizeof(buf)), "x");
+    ASSERT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records()[0].category, "nvme.hiccup");
 }
 
 TEST(TracerTest, EnableAllCapturesEverything)

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Tests for the shared JSON string escaper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/json.hh"
+
+using afa::stats::jsonEscape;
+
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("fig06/seed3"), "fig06/seed3");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+}
+
+TEST(JsonEscapeTest, EscapesNamedControls)
+{
+    EXPECT_EQ(jsonEscape("a\nb\tc\rd\be\ff"),
+              "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(JsonEscapeTest, EscapesOtherControlsAsUnicode)
+{
+    EXPECT_EQ(jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+    EXPECT_EQ(jsonEscape(std::string("\x1f", 1)), "\\u001f");
+}
+
+TEST(JsonEscapeTest, LeavesHighBytesAlone)
+{
+    // UTF-8 multibyte sequences pass through untouched.
+    EXPECT_EQ(jsonEscape("\xc3\xa9"), "\xc3\xa9");
+}
+
+} // namespace

@@ -238,6 +238,10 @@ def is_mutable_static_stmt(stmt):
         return False
     if STATIC_SKIP_RE.search(s):
         return False
+    # `class Foo;` / `struct Foo;` is a forward declaration, not state.
+    if re.match(r"(class|struct|union|enum(\s+(class|struct))?)\s+"
+                r"[\w:]+$", s):
+        return False
     # A '(' before any '=' means a function declaration/definition
     # (variable ctor-call initialisers are rare here and a miss is
     # cheaper than flagging every function).

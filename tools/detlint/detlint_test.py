@@ -23,6 +23,7 @@ DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): (?P<rule>[\w-]+): ")
 EXPECTATIONS = {
     "bad_rand.cc": {"rand": 3},
     "bad_wall_clock.cc": {"wall-clock": 6},
+    "bad_wall_clock_span.cc": {"wall-clock": 2},
     "bad_random_device.cc": {"random-device": 1},
     "bad_unseeded_rng.cc": {"unseeded-rng": 4},
     "bad_unordered_iteration.cc": {"unordered-iteration": 3},

@@ -1,0 +1,27 @@
+// Fixture: span instrumentation fed from host wall-clock time. The
+// observability contract (DESIGN.md) requires span begin/end to be
+// simulated Ticks; stamping them from a host clock makes traces (and
+// anything derived from them) nondeterministic, so the `wall-clock`
+// rule must fire on each read even inside telemetry-only code.
+#include <chrono>
+#include <cstdint>
+
+struct FakeSpanLog
+{
+    void record(std::uint64_t begin, std::uint64_t end);
+};
+
+void
+recordSpanFromHostClock(FakeSpanLog &log)
+{
+    auto begin = std::chrono::steady_clock::now();
+    // ... simulated work ...
+    auto end = std::chrono::steady_clock::now();
+    log.record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            begin.time_since_epoch())
+            .count(),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            end.time_since_epoch())
+            .count());
+}
