@@ -23,9 +23,15 @@
  *   --metrics-json F  also write the per-run metrics JSON to file F
  *                     (includes the system metrics when tracing is on)
  *   --trace C[,C...]  enable span tracing for the listed categories
- *                     (workload,sched,pcie,nvme,smart,ftl,nand,irq or
- *                     "all"); results stay bit-identical, only
- *                     telemetry is added
+ *                     (workload,sched,pcie,nvme,smart,ftl,nand,irq,
+ *                     fault or "all"); results stay bit-identical,
+ *                     only telemetry is added
+ *   --faults F        load a fault plan from spec file F and inject
+ *                     it into every run (see src/fault/fault_plan.hh
+ *                     for the spec format); arms the driver
+ *                     timeout/retry policy and publishes the fault
+ *                     counters in --metrics-json
+ *   --fault-summary   print the parsed fault plan before running
  *   --trace-out F     write a Chrome/Perfetto trace-event JSON of the
  *                     last reported figure's first run to file F
  *                     (implies --trace all when --trace is absent)
@@ -38,11 +44,13 @@
 #define AFA_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "core/run_plan.hh"
+#include "fault/fault_plan.hh"
 #include "obs/perfetto.hh"
 #include "sim/config.hh"
 
@@ -90,6 +98,16 @@ parseOptions(int argc, char **argv)
         p.traceMask = afa::obs::parseCategories(trace);
     opts.traceOutPath = cfg.getString("trace_out", "");
     opts.attribution = cfg.getBool("attribution", false);
+    std::string fault_path = cfg.getString("faults", "");
+    if (!fault_path.empty())
+        p.faults = std::make_shared<afa::fault::FaultPlan>(
+            afa::fault::FaultPlan::parseFile(fault_path));
+    if (cfg.getBool("fault_summary", false)) {
+        if (!p.faults)
+            std::printf("fault plan: none (pass --faults=<file>)\n");
+        else
+            std::fputs(p.faults->summary().c_str(), stdout);
+    }
     // A trace consumer without an explicit category list gets all of
     // them; the Perfetto export additionally needs the raw records.
     if ((!opts.traceOutPath.empty() || opts.attribution) &&

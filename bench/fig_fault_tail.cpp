@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Fault-injection companion to Fig. 6: the fig06-style scatter with
+ * one limping SSD, split into the three lives of an array.
+ *
+ * A client drives random reads against a RAID-5 volume over W SSDs.
+ * The timeline has three phases of equal length:
+ *
+ *   healthy   [0, T/3)      every member serves at full speed
+ *   limping   [T/3, 2T/3)   one SSD's service time inflates by
+ *                           --limp-factor; the volume still routes
+ *                           reads to it, so every Wth block rides the
+ *                           limping tail (the gray-failure regime the
+ *                           driver timeout cannot see)
+ *   rebuild   [2T/3, T]     the admin kicks the bad disk: reads of
+ *                           its blocks reconstruct from the W-1
+ *                           survivors while the rebuild engine
+ *                           streams the spare back through the same
+ *                           fabric; when the rebuild finishes the
+ *                           member rejoins and the tail collapses
+ *
+ * Run with --trace fault --attribution to see the new span stages
+ * (fault_stall / rebuild_io) attribute the inflated tail.
+ *
+ * Extra flags over the common set:
+ *   --width W           volume members (default 8)
+ *   --limp-ssd D        which member limps (default width/2)
+ *   --limp-factor F     latency multiplier while limping (default 8)
+ *   --rebuild-blocks N  extent rebuilt, 4 KiB blocks (default 2048)
+ *   --faults F          replace the built-in limp plan entirely
+ */
+
+#include "common.hh"
+
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/span_log.hh"
+#include "raid/rebuild.hh"
+#include "raid/volume.hh"
+#include "sim/logging.hh"
+#include "stats/histogram.hh"
+#include "workload/fio_thread.hh"
+
+using namespace afa::core;
+using afa::sim::Simulator;
+using afa::sim::Tick;
+using afa::workload::FioJob;
+using afa::workload::FioThread;
+
+namespace {
+
+afa::stats::LatencySummary
+phaseSummary(const char *phase, const afa::stats::ScatterLog &scatter,
+             Tick from, Tick to)
+{
+    afa::stats::Histogram hist;
+    for (const auto &s : scatter.samples())
+        if (s.when >= from && s.when < to)
+            hist.record(s.latency);
+    return afa::stats::LatencySummary::fromHistogram(phase, hist);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    afa::sim::Config cfg;
+    cfg.parseArgs(argc - 1, argv + 1);
+    auto opts = afa::bench::parseOptions(argc, argv);
+
+    const unsigned width =
+        static_cast<unsigned>(cfg.getUint("width", 8));
+    const unsigned limp_ssd = static_cast<unsigned>(
+        cfg.getUint("limp_ssd", width / 2));
+    const double limp_factor =
+        static_cast<double>(cfg.getUint("limp_factor", 8));
+    const std::uint64_t rebuild_blocks =
+        cfg.getUint("rebuild_blocks", 2048);
+    const Tick runtime = opts.params.runtime;
+    const Tick phase_len = runtime / 3;
+
+    if (width < 3)
+        afa::sim::fatal("fig_fault_tail: --width must be >= 3 "
+                        "(RAID-5)");
+    if (limp_ssd >= width)
+        afa::sim::fatal("fig_fault_tail: --limp-ssd out of range");
+
+    // The built-in plan: one SSD limps for the middle third. A
+    // --faults file replaces it wholesale (same driver policy rules).
+    auto plan = opts.params.faults;
+    if (!plan) {
+        auto p = std::make_shared<afa::fault::FaultPlan>();
+        afa::fault::FaultEvent limp;
+        limp.kind = afa::fault::FaultKind::Limp;
+        limp.ssd = limp_ssd;
+        limp.at = phase_len;
+        limp.duration = phase_len;
+        limp.factor = limp_factor;
+        p->events.push_back(limp);
+        plan = p;
+    }
+
+    Simulator sim(opts.params.seed);
+    AfaSystemParams sys_params;
+    sys_params.ssds = width;
+    Geometry geometry(afa::host::CpuTopology{}, width);
+    TuningConfig tuning =
+        TuningConfig::forProfile(TuningProfile::IrqAffinity, geometry);
+    sys_params.kernel = tuning.kernel;
+    sys_params.firmware = tuning.firmware;
+    sys_params.pinIrqAffinity = tuning.pinIrqAffinity;
+    sys_params.firmware.smart.period = opts.params.smartPeriod;
+    sys_params.kernel.irq.irqBalanceInterval =
+        opts.params.irqBalanceInterval;
+    sys_params.faults = plan;
+    AfaSystem system(sim, sys_params);
+
+    std::unique_ptr<afa::obs::SpanLog> spanLog;
+    if (opts.params.traceMask != 0) {
+        afa::obs::TraceParams trace;
+        trace.mask = opts.params.traceMask;
+        trace.capacity = opts.params.traceCapacity;
+        spanLog = std::make_unique<afa::obs::SpanLog>(trace);
+        system.setSpanLog(spanLog.get());
+    }
+
+    std::vector<unsigned> members;
+    for (unsigned d = 0; d < width; ++d)
+        members.push_back(d);
+    afa::raid::ParityVolume volume(sim, "vol0", system.ioEngine(),
+                                   members, 1);
+
+    FioJob job;
+    job.rw = afa::workload::RwMode::RandRead;
+    job.blockSize = 4096;
+    job.runtime = runtime;
+    job.cpusAllowed = afa::host::CpuMask(1) << geometry.fioCpus()[0];
+    job.rtPriority = tuning.fioRtPriority;
+    job.name = "client";
+    FioThread client(sim, "client", system.scheduler(), volume, 0,
+                     job);
+    afa::stats::ScatterLog scatter;
+    client.attachScatterLog(&scatter);
+    if (spanLog)
+        client.attachSpanLog(spanLog.get());
+
+    // The rebuild: read every survivor, write the replaced member,
+    // through the same driver/fabric as the client's IO.
+    afa::raid::RebuildParams reb;
+    for (unsigned d = 0; d < width; ++d)
+        if (d != limp_ssd)
+            reb.sources.push_back(d);
+    reb.target = limp_ssd;
+    reb.blocks = rebuild_blocks;
+    reb.cpu = geometry.fioCpus()[0];
+    afa::raid::RebuildEngine rebuild(sim, "rebuild0",
+                                     system.ioEngine(), reb);
+    if (spanLog)
+        rebuild.attachSpanLog(spanLog.get());
+    rebuild.setOnComplete([&] {
+        volume.setMemberFailed(limp_ssd, false);
+    });
+
+    // At 2T/3 the admin pulls the limping disk: reads reconstruct
+    // from the survivors while the spare refills in the background.
+    sim.scheduleAt(2 * phase_len, [&] {
+        volume.setMemberFailed(limp_ssd, true);
+        rebuild.start(sim.now());
+    });
+
+    system.start();
+    client.start(0);
+    sim.run(runtime + afa::sim::msec(200));
+
+    std::printf("=== fault tail: RAID-5 over %u SSDs, member %u "
+                "limping x%.0f for the middle third ===\n",
+                width, limp_ssd, limp_factor);
+    std::fputs(plan->summary().c_str(), stdout);
+
+    afa::stats::Table table({"phase", "ios", "avg_us", "p99_us",
+                             "p99.9_us", "max_us"});
+    struct PhaseDef { const char *name; Tick from, to; };
+    const PhaseDef phases[] = {
+        {"healthy", 0, phase_len},
+        {"limping", phase_len, 2 * phase_len},
+        {"rebuild+recovered", 2 * phase_len,
+         runtime + afa::sim::msec(200)},
+    };
+    for (const auto &ph : phases) {
+        auto s = phaseSummary(ph.name, scatter, ph.from, ph.to);
+        table.addRow({ph.name, afa::stats::Table::num(s.samples),
+                      afa::stats::Table::num(s.ladderUs[0], 1),
+                      afa::stats::Table::num(s.ladderUs[1], 1),
+                      afa::stats::Table::num(s.ladderUs[2], 1),
+                      afa::stats::Table::num(s.maxUs, 1)});
+    }
+    afa::bench::printTable(table, opts.csv);
+
+    const auto &vs = volume.stats();
+    const auto &rs = rebuild.stats();
+    std::printf("\nvolume: %llu client IOs, %llu member IOs, "
+                "%llu degraded reads, %llu failed\n",
+                (unsigned long long)vs.clientIos,
+                (unsigned long long)vs.memberIos,
+                (unsigned long long)vs.degradedReads,
+                (unsigned long long)vs.failedIos);
+    std::printf("rebuild: %llu/%llu blocks in %llu chunks%s\n",
+                (unsigned long long)rs.blocksDone,
+                (unsigned long long)rebuild_blocks,
+                (unsigned long long)rs.chunks,
+                rs.done
+                    ? afa::sim::strfmt(
+                          ", done at %.1f ms",
+                          afa::sim::toMsec(rs.finishedAt)).c_str()
+                    : " (still running at end of run)");
+    const auto &ds = system.driverStats();
+    std::printf("driver: %llu timeouts, %llu retries, %llu aborts\n",
+                (unsigned long long)ds.timeouts,
+                (unsigned long long)ds.retries,
+                (unsigned long long)ds.aborts);
+
+    if (spanLog && opts.attribution) {
+        std::printf("\nlatency attribution:\n");
+        afa::bench::printTable(spanLog->attribution().table(),
+                               opts.csv);
+    }
+    if (spanLog && !opts.traceOutPath.empty()) {
+        auto spans = spanLog->snapshot();
+        if (afa::obs::writePerfettoJson(opts.traceOutPath, spans))
+            std::printf("perfetto trace (%zu spans) written to %s\n",
+                        spans.size(), opts.traceOutPath.c_str());
+    }
+    if (!opts.metricsJsonPath.empty()) {
+        afa::obs::MetricsRegistry registry;
+        system.publishMetrics(registry);
+        auto snapshot = registry.snapshot();
+        std::FILE *f = std::fopen(opts.metricsJsonPath.c_str(), "w");
+        if (f) {
+            std::fputs(snapshot.toJson("  ").c_str(), f);
+            std::fclose(f);
+            std::printf("metrics JSON written to %s\n",
+                        opts.metricsJsonPath.c_str());
+        }
+    }
+
+    std::printf(
+        "\nReading: the limping member drags every ~1/%uth read into "
+        "its\ninflated service time -- the gray failure a driver "
+        "timeout cannot\nsee. Kicking the disk trades that for "
+        "reconstruction reads plus\nrebuild contention, and once the "
+        "spare is rebuilt the tail\ncollapses back to the healthy "
+        "profile.\n", width);
+    return 0;
+}

@@ -12,14 +12,22 @@
  * diagnosis loop the paper ran with LTTng + blktrace, without
  * re-running anything.
  *
+ * With --faults, a fault plan (see src/fault/fault_plan.hh) is
+ * injected into the profiled batch: the outlier screen catches the
+ * misbehaving device and the attribution table shows the new fault
+ * stages (fault_stall / retry_wait) carrying the inflated tail --
+ * profiling as fault triage.
+ *
  * Usage: ssd_profiler [--ssds N] [--runtime-ms M] [--trace]
- *                     [--trace-out FILE]
+ *                     [--trace-out FILE] [--faults PLAN]
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "fault/fault_plan.hh"
 #include "obs/perfetto.hh"
 #include "sim/config.hh"
 
@@ -57,6 +65,15 @@ main(int argc, char **argv)
     if (trace || !trace_out.empty()) {
         params.traceMask = afa::obs::kAllCategories;
         params.keepSpans = !trace_out.empty();
+    }
+
+    const std::string fault_path = cfg.getString("faults", "");
+    if (!fault_path.empty()) {
+        params.faults = std::make_shared<afa::fault::FaultPlan>(
+            afa::fault::FaultPlan::parseFile(fault_path));
+        std::printf("injecting fault plan %s:\n%s\n",
+                    fault_path.c_str(),
+                    params.faults->summary().c_str());
     }
 
     std::printf("SSD profiler: %u devices, %.1fs profile per device\n\n",
@@ -97,6 +114,18 @@ main(int argc, char **argv)
                             .stage(afa::obs::Stage::SmartStall)
                             .totalTicks /
                         1e6);
+        if (params.faults) {
+            const auto &stall = parallel.attribution.stage(
+                afa::obs::Stage::FaultStall);
+            const auto &retry = parallel.attribution.stage(
+                afa::obs::Stage::RetryWait);
+            std::printf("fault stalls hit %llu commands for %.1f ms; "
+                        "%llu retry backoffs for %.1f ms\n",
+                        (unsigned long long)stall.count,
+                        stall.totalTicks / 1e6,
+                        (unsigned long long)retry.count,
+                        retry.totalTicks / 1e6);
+        }
     }
     if (!trace_out.empty() &&
         afa::obs::writePerfettoJson(trace_out, parallel.spans))

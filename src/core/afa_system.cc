@@ -1,6 +1,7 @@
 #include "core/afa_system.hh"
 
 #include "obs/metrics.hh"
+#include "obs/span_log.hh"
 #include "sim/logging.hh"
 
 namespace afa::core {
@@ -60,6 +61,15 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
 
     if (params.pinIrqAffinity)
         irqSub->pinAllToQueueCpus();
+
+    if (params.faults) {
+        std::vector<afa::nvme::Controller *> ctrl_ptrs;
+        for (auto &ctrl : ctrls)
+            ctrl_ptrs.push_back(ctrl.get());
+        faults = std::make_unique<afa::fault::FaultEngine>(
+            sim, params.faults, std::move(ctrl_ptrs),
+            pcieFabric.get(), fabricTopo.ssds);
+    }
 }
 
 void
@@ -73,6 +83,8 @@ AfaSystem::start()
     bg->start();
     for (auto &ctrl : ctrls)
         ctrl->start();
+    if (faults)
+        faults->start();
 }
 
 afa::workload::IoEngine &
@@ -95,9 +107,23 @@ AfaSystem::outstandingCommands() const
     return driver->outstanding();
 }
 
+const DriverStats &
+AfaSystem::driverStats() const
+{
+    return driver->stats();
+}
+
+void
+AfaSystem::addMetricsSource(
+    std::function<void(afa::obs::MetricsRegistry &)> source)
+{
+    extraMetricsSources.push_back(std::move(source));
+}
+
 void
 AfaSystem::setSpanLog(afa::obs::SpanLog *log)
 {
+    spanLogPtr = log;
     pcieFabric->setSpanLog(log);
     sched->setSpanLog(log);
     irqSub->setSpanLog(log);
@@ -114,6 +140,7 @@ AfaSystem::publishMetrics(afa::obs::MetricsRegistry &registry) const
     registry.addCounter("fabric.fast_path_packets", fs.fastPathPackets);
     registry.addCounter("fabric.fallback_packets", fs.fallbackPackets);
     registry.addCounter("fabric.queue_delay_ticks", fs.totalQueueDelay);
+    registry.addCounter("fabric.link_replays", fs.linkReplays);
 
     const afa::host::IrqStats &is = irqSub->stats();
     registry.addCounter("irq.delivered", is.delivered);
@@ -155,6 +182,8 @@ AfaSystem::publishMetrics(afa::obs::MetricsRegistry &registry) const
         ssd.bytesWritten += cs.bytesWritten;
         ssd.hiccups += cs.hiccups;
         ssd.smartStallDelay += cs.smartStallDelay;
+        ssd.droppedCommands += cs.droppedCommands;
+        ssd.faultStallDelay += cs.faultStallDelay;
         const afa::nvme::FtlStats &fls = ctrls[d]->ftl().stats();
         ftl.hostReadsMapped += fls.hostReadsMapped;
         ftl.hostWrites += fls.hostWrites;
@@ -186,6 +215,27 @@ AfaSystem::publishMetrics(afa::obs::MetricsRegistry &registry) const
     registry.addCounter("nand.die_busy_ticks", nand.dieBusyTime);
     registry.addCounter("nand.channel_busy_ticks",
                         nand.channelBusyTime);
+
+    if (sysParams.faults) {
+        // Fault-run counters only appear in faulted artifacts, so
+        // healthy --metrics-json output is byte-identical to before.
+        registry.addCounter("nvme.dropped_commands",
+                            ssd.droppedCommands);
+        registry.addCounter("nvme.fault_stall_ticks",
+                            ssd.faultStallDelay);
+        const DriverStats &ds = driver->stats();
+        registry.addCounter("driver.timeouts", ds.timeouts);
+        registry.addCounter("driver.retries", ds.retries);
+        registry.addCounter("driver.aborts", ds.aborts);
+        registry.addCounter("driver.stale_completions",
+                            ds.staleCompletions);
+        const afa::fault::FaultEngineStats &es = faults->stats();
+        registry.addCounter("fault.events_applied", es.applied);
+        registry.addCounter("fault.events_reverted", es.reverted);
+    }
+
+    for (const auto &source : extraMetricsSources)
+        source(registry);
 }
 
 // ---------------------------------------------------------------------
@@ -202,7 +252,24 @@ AfaSystem::Driver::submit(unsigned cpu,
                         request.device);
     std::uint64_t id = nextCmdId++;
     inFlight.emplace(id, Pending{std::move(on_device_complete),
-                                 request.tag});
+                                 request.tag, request, cpu, 0, {}});
+    startAttempt(id);
+}
+
+void
+AfaSystem::Driver::startAttempt(std::uint64_t id)
+{
+    auto it = inFlight.find(id);
+    Pending &pending = it->second;
+    const afa::workload::IoRequest &request = pending.req;
+    const unsigned cpu = pending.cpu;
+
+    // Timeouts are armed only when a fault plan is loaded: on a
+    // healthy run the driver schedules no extra events at all.
+    if (sys.sysParams.faults)
+        pending.timeout = sys.sim.scheduleAfter(
+            sys.sysParams.faults->nvmeTimeout,
+            [this, id] { onTimeout(id); });
 
     NvmeCommand cmd;
     cmd.op = request.op;
@@ -222,6 +289,46 @@ AfaSystem::Driver::submit(unsigned cpu,
                                 [ctrl, cmd] { ctrl->submit(cmd); });
 }
 
+void
+AfaSystem::Driver::onTimeout(std::uint64_t id)
+{
+    auto it = inFlight.find(id);
+    if (it == inFlight.end())
+        afa::sim::panic("driver: timeout for unknown command %llu",
+                        (unsigned long long)id);
+    ++drvStats.timeouts;
+    Pending pending = std::move(it->second);
+    inFlight.erase(it);
+    const afa::fault::FaultPlan &plan = *sys.sysParams.faults;
+    if (pending.attempts >= plan.maxRetries) {
+        // Retry budget exhausted: fail the IO back to the submitter
+        // on its own CPU (no interrupt fires for an abort).
+        ++drvStats.aborts;
+        pending.fn(afa::workload::IoResult{
+            pending.cpu, afa::nvme::Status::TimedOut});
+        return;
+    }
+    ++drvStats.retries;
+    afa::sim::Tick backoff = plan.retryBackoff << pending.attempts;
+    if (sys.spanLogPtr && pending.tag &&
+        sys.spanLogPtr->wants(afa::obs::Category::Fault))
+        sys.spanLogPtr->record(afa::obs::Stage::RetryWait, pending.tag,
+                               sys.sim.now(), sys.sim.now() + backoff,
+                               afa::obs::cpuTrack(pending.cpu));
+    ++backoffWaits;
+    sys.sim.scheduleAfter(
+        backoff, [this, pending = std::move(pending)]() mutable {
+            --backoffWaits;
+            // Resubmit under a fresh command id so a late completion
+            // of the timed-out attempt can be told apart (it counts
+            // as stale in onCompletion()).
+            std::uint64_t id = nextCmdId++;
+            ++pending.attempts;
+            inFlight.emplace(id, std::move(pending));
+            startAttempt(id);
+        });
+}
+
 std::uint64_t
 AfaSystem::Driver::deviceBlocks(unsigned device) const
 {
@@ -235,22 +342,35 @@ AfaSystem::Driver::onCompletion(unsigned device,
                                 const NvmeCompletion &completion)
 {
     auto it = inFlight.find(completion.cmdId);
-    if (it == inFlight.end())
+    if (it == inFlight.end()) {
+        if (sys.sysParams.faults) {
+            // The driver already timed this attempt out (and retried
+            // or aborted the IO); the device's late answer is dropped
+            // like a CQE for a recycled tag.
+            ++drvStats.staleCompletions;
+            return;
+        }
         afa::sim::panic("driver: completion for unknown command %llu",
                         (unsigned long long)completion.cmdId);
+    }
     Pending pending = std::move(it->second);
     inFlight.erase(it);
+    if (sys.sysParams.faults)
+        sys.sim.cancel(pending.timeout);
+    const afa::nvme::Status status = completion.status;
     if (sys.polledMode) {
         // Polled queues: the CQE sits in host memory; the submitting
         // thread's poll loop will find it. No interrupt is raised.
-        pending.fn(completion.queueId);
+        pending.fn(afa::workload::IoResult{completion.queueId, status});
         return;
     }
     // Deliver through the MSI-X vector of (device, submit queue);
     // its affinity decides which CPU pays the hardirq/softirq cost.
     sys.irqSub->raise(device, completion.queueId,
-                      [fn = std::move(pending.fn)](unsigned handler_cpu) {
-                          fn(handler_cpu);
+                      [fn = std::move(pending.fn),
+                       status](unsigned handler_cpu) {
+                          fn(afa::workload::IoResult{handler_cpu,
+                                                     status});
                       },
                       pending.tag);
 }

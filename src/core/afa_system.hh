@@ -12,10 +12,12 @@
 #ifndef AFA_CORE_AFA_SYSTEM_HH
 #define AFA_CORE_AFA_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault_engine.hh"
 #include "host/background.hh"
 #include "host/irq.hh"
 #include "host/scheduler.hh"
@@ -54,6 +56,15 @@ struct AfaSystemParams
     std::uint32_t sqeBytes = 72;
 
     /**
+     * Optional fault plan (nullptr = healthy run). Loading a plan
+     * arms the driver's command timeout/retry path and schedules the
+     * plan's events via a FaultEngine; without one, every fault hook
+     * is idle and the run is tick-identical to a build without them.
+     * Shared so parallel sweep workers can reference one parse.
+     */
+    std::shared_ptr<const afa::fault::FaultPlan> faults;
+
+    /**
      * NAND geometry scaled to the simulated 1 GiB logical space
      * (keeps 64 drives' FTL memory small); bandwidth and latency
      * parameters stay production-like.
@@ -66,6 +77,17 @@ struct AfaSystemParams
         p.blocksPerDie = 16;
         return p;
     }
+};
+
+/** Host NVMe driver recovery counters (all zero without faults). */
+struct DriverStats
+{
+    std::uint64_t timeouts = 0;  ///< command timeouts fired
+    std::uint64_t retries = 0;   ///< resubmissions after backoff
+    std::uint64_t aborts = 0;    ///< IOs failed with Status::TimedOut
+    /** Completions for commands the driver had already timed out
+     *  (e.g. a limping device answering after the retry fired). */
+    std::uint64_t staleCompletions = 0;
 };
 
 /** The system. Owns every component except the Simulator. */
@@ -108,6 +130,14 @@ class AfaSystem
      */
     void publishMetrics(afa::obs::MetricsRegistry &registry) const;
 
+    /**
+     * Register an extra publisher that publishMetrics() invokes after
+     * the built-in counters — how components the system does not own
+     * (e.g. a raid::RebuildEngine) land in --metrics-json artifacts.
+     */
+    void addMetricsSource(
+        std::function<void(afa::obs::MetricsRegistry &)> source);
+
     afa::host::Scheduler &scheduler() { return *sched; }
     afa::host::IrqSubsystem &irq() { return *irqSub; }
     afa::host::BackgroundLoad &background() { return *bg; }
@@ -116,7 +146,14 @@ class AfaSystem
     unsigned ssds() const { return static_cast<unsigned>(ctrls.size()); }
     const AfaSystemParams &params() const { return sysParams; }
 
-    /** Outstanding driver commands (0 when quiescent). */
+    /** Driver recovery counters (timeouts/retries/aborts). */
+    const DriverStats &driverStats() const;
+
+    /** The fault engine, or nullptr when no plan is loaded. */
+    afa::fault::FaultEngine *faultEngine() { return faults.get(); }
+
+    /** Outstanding driver commands, including retries waiting out
+     *  their backoff (0 when quiescent). */
     std::size_t outstandingCommands() const;
 
   private:
@@ -135,19 +172,35 @@ class AfaSystem
         void onCompletion(unsigned device,
                           const afa::nvme::NvmeCompletion &completion);
 
-        std::size_t outstanding() const { return inFlight.size(); }
+        std::size_t outstanding() const
+        {
+            return inFlight.size() + backoffWaits;
+        }
+
+        const DriverStats &stats() const { return drvStats; }
 
       private:
-        /** One submitted-not-yet-completed command. */
+        /** One submitted-not-yet-completed command attempt. */
         struct Pending
         {
             CompleteFn fn;
             std::uint64_t tag = 0; ///< observability tag
+            afa::workload::IoRequest req; ///< kept for resubmission
+            unsigned cpu = 0;             ///< submitting CPU
+            unsigned attempts = 0;        ///< retries so far
+            afa::sim::EventHandle timeout;///< armed only with a plan
         };
+
+        void startAttempt(std::uint64_t id);
+        void onTimeout(std::uint64_t id);
 
         AfaSystem &sys;
         std::uint64_t nextCmdId = 1;
         std::unordered_map<std::uint64_t, Pending> inFlight;
+        /** IOs between a timeout and their backed-off resubmission
+         *  (in neither inFlight nor the device). */
+        std::size_t backoffWaits = 0;
+        DriverStats drvStats;
     };
 
     afa::sim::Simulator &sim;
@@ -161,6 +214,10 @@ class AfaSystem
     std::unique_ptr<afa::host::IrqSubsystem> irqSub;
     std::unique_ptr<afa::host::BackgroundLoad> bg;
     std::unique_ptr<Driver> driver;
+    std::unique_ptr<afa::fault::FaultEngine> faults;
+    std::vector<std::function<void(afa::obs::MetricsRegistry &)>>
+        extraMetricsSources;
+    afa::obs::SpanLog *spanLogPtr = nullptr;
     bool startedFlag = false;
     bool polledMode = false;
 };

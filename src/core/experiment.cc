@@ -47,6 +47,7 @@ ExperimentRunner::run(const ExperimentParams &params)
         sys_params.firmware = tuning.firmware;
         sys_params.pinIrqAffinity = tuning.pinIrqAffinity;
         sys_params.ftl = params.ftl;
+        sys_params.faults = params.faults;
         if (!params.backgroundLoad)
             sys_params.background = afa::host::BackgroundParams::none();
         if (params.smartPeriod > 0)
@@ -127,11 +128,16 @@ ExperimentRunner::run(const ExperimentParams &params)
             result.spanDrops += spanLog->dropped();
             if (params.keepSpans && run_idx == 0)
                 result.spans = spanLog->snapshot();
+        }
+        if (spanLog || params.faults) {
             afa::obs::MetricsRegistry registry;
             system.publishMetrics(registry);
-            registry.addCounter("obs.spans_recorded",
-                                spanLog->recorded());
-            registry.addCounter("obs.span_drops", spanLog->dropped());
+            if (spanLog) {
+                registry.addCounter("obs.spans_recorded",
+                                    spanLog->recorded());
+                registry.addCounter("obs.span_drops",
+                                    spanLog->dropped());
+            }
             result.systemMetrics.merge(registry.snapshot());
         }
     }

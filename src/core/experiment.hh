@@ -107,6 +107,15 @@ struct ExperimentParams
      * and keep result sizes bounded.
      */
     bool keepSpans = false;
+
+    /**
+     * Optional fault plan applied to every geometry run (nullptr =
+     * healthy). Shared because ExperimentParams is copied into each
+     * parallel-sweep RunDescriptor; all replicas reference one parse.
+     * Loading a plan also publishes component metrics into the
+     * result even when tracing is off.
+     */
+    std::shared_ptr<const afa::fault::FaultPlan> faults;
 };
 
 /** Result of one experiment (merged across geometry runs). */

@@ -47,7 +47,15 @@ struct NvmeCommand
 enum class Status : std::uint8_t {
     Success,
     InvalidField,
+    /** Host driver gave up after its timeout/retry budget; the device
+     *  never answered (dropped-out or unresponsive SSD). */
+    TimedOut,
+    /** Host driver aborted the command (e.g. queue teardown). */
+    Aborted,
 };
+
+/** The name of a status ("success", "timed-out", ...). */
+const char *statusName(Status status);
 
 /** Completion record returned to the host. */
 struct NvmeCompletion

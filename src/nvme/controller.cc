@@ -26,6 +26,22 @@ opName(Op op)
     return "unknown";
 }
 
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Success:
+        return "success";
+      case Status::InvalidField:
+        return "invalid-field";
+      case Status::TimedOut:
+        return "timed-out";
+      case Status::Aborted:
+        return "aborted";
+    }
+    return "unknown";
+}
+
 Controller::Controller(afa::sim::Simulator &simulator,
                        std::string controller_name,
                        const FirmwareConfig &firmware_config,
@@ -69,6 +85,21 @@ Controller::start()
 }
 
 void
+Controller::setLimpFactor(double factor)
+{
+    if (factor < 1.0)
+        afa::sim::panic("%s: limp factor %.2f < 1", name().c_str(),
+                        factor);
+    limp = factor;
+}
+
+void
+Controller::stallUntil(Tick until)
+{
+    faultStallUntilTick = std::max(faultStallUntilTick, until);
+}
+
+void
 Controller::checkWired() const
 {
     if (!transport || !completionHandler)
@@ -82,6 +113,8 @@ Controller::throughPipeline(Tick proc_time, std::uint64_t io)
     Tick ready = std::max(now(), procBusy);
     Tick stalled = std::max(ready, smartEngine.stalledUntil());
     ctrlStats.smartStallDelay += stalled - ready;
+    Tick faulted = std::max(stalled, faultStallUntilTick);
+    ctrlStats.faultStallDelay += faulted - stalled;
     if (spanLog) {
         if (ready > now() && spanLog->wants(afa::obs::Category::Nvme))
             spanLog->record(afa::obs::Stage::ControllerQueue, io,
@@ -90,8 +123,12 @@ Controller::throughPipeline(Tick proc_time, std::uint64_t io)
             spanLog->wants(afa::obs::Category::Smart))
             spanLog->record(afa::obs::Stage::SmartStall, io, ready,
                             stalled, spanTrack);
+        if (faulted > stalled &&
+            spanLog->wants(afa::obs::Category::Fault))
+            spanLog->record(afa::obs::Stage::FaultStall, io, stalled,
+                            faulted, spanTrack);
     }
-    procBusy = stalled + proc_time;
+    procBusy = faulted + proc_time;
     return procBusy;
 }
 
@@ -135,6 +172,12 @@ void
 Controller::submit(const NvmeCommand &cmd)
 {
     checkWired();
+    if (isOffline) {
+        // Dropped-out device: the command vanishes; the host driver's
+        // timeout/retry path is the only recovery.
+        ++ctrlStats.droppedCommands;
+        return;
+    }
     switch (cmd.op) {
       case Op::Read:
         serveRead(cmd);
@@ -176,6 +219,20 @@ Controller::serveRead(const NvmeCommand &cmd)
         auto finish = [this, cmd, hiccup,
                        media_begin](Tick media_done) {
             Tick xfer_ready = media_done + hiccup;
+            if (limp != 1.0) {
+                // Limping device: the media stage takes `limp` times
+                // as long; charge the excess after the healthy window.
+                Tick extra = static_cast<Tick>(
+                    static_cast<double>(media_done - media_begin) *
+                    (limp - 1.0));
+                ctrlStats.faultStallDelay += extra;
+                if (extra && spanLog &&
+                    spanLog->wants(afa::obs::Category::Fault))
+                    spanLog->record(afa::obs::Stage::FaultStall,
+                                    cmd.tag, xfer_ready,
+                                    xfer_ready + extra, spanTrack);
+                xfer_ready += extra;
+            }
             Tick xfer_done = throughXfer(xfer_ready, cmd.bytes);
             if (spanLog && spanLog->wants(afa::obs::Category::Nvme)) {
                 spanLog->record(afa::obs::Stage::MediaRead, cmd.tag,
@@ -232,6 +289,13 @@ Controller::serveWrite(const NvmeCommand &cmd)
         ? static_cast<Tick>(bw_secs * 1e9)
         : std::max(static_cast<Tick>(bw_secs * 1e9),
                    fwConfig.randomWriteOverhead);
+    if (limp != 1.0) {
+        Tick extra =
+            static_cast<Tick>(static_cast<double>(service) *
+                              (limp - 1.0));
+        ctrlStats.faultStallDelay += extra;
+        service += extra;
+    }
     Tick start = std::max(pipe_done, writePipeBusy);
     writePipeBusy = start + service;
     at(writePipeBusy, [this, cmd, blocks] {

@@ -48,6 +48,11 @@ struct ControllerStats
     std::uint64_t bytesWritten = 0;
     std::uint64_t hiccups = 0;
     Tick smartStallDelay = 0; ///< total time commands waited on SMART
+    /** Commands swallowed while the device was dropped out; only the
+     *  host driver's timeout path recovers them. */
+    std::uint64_t droppedCommands = 0;
+    /** Total extra service time injected by limp/stall faults. */
+    Tick faultStallDelay = 0;
 };
 
 /** The SSD controller. */
@@ -98,6 +103,31 @@ class Controller : public afa::sim::SimObject
      *  wires the FTL and NAND layers underneath. */
     void setSpanLog(afa::obs::SpanLog *log, std::uint16_t track);
 
+    // ------------------------------------------------------------------
+    // Injected fault hooks (driven by fault::FaultEngine). All default
+    // to the healthy state and cost nothing while there: one compare
+    // on the submit path, one max in the pipeline.
+    // ------------------------------------------------------------------
+
+    /**
+     * Limping device: media service time and the write pipe scale by
+     * @p factor (>= 1; 1 restores health). The added time is recorded
+     * as FaultStall spans and ControllerStats::faultStallDelay.
+     */
+    void setLimpFactor(double factor);
+
+    /** Current limp factor (1 = healthy). */
+    double limpFactor() const { return limp; }
+
+    /** Dropped-out device: submitted commands are silently lost. */
+    void setOffline(bool offline) { isOffline = offline; }
+
+    /** True while the device is dropped out. */
+    bool offline() const { return isOffline; }
+
+    /** Freeze the command pipeline until @p until (firmware stall). */
+    void stallUntil(Tick until);
+
     Ftl &ftl() { return ftlLayer; }
     const Ftl &ftl() const { return ftlLayer; }
     SmartEngine &smart() { return smartEngine; }
@@ -120,6 +150,11 @@ class Controller : public afa::sim::SimObject
     Tick xferBusy;
     Tick writePipeBusy;
     std::uint64_t lastWriteEndLba;
+
+    // Injected fault state (healthy defaults).
+    double limp = 1.0;
+    bool isOffline = false;
+    Tick faultStallUntilTick = 0;
 
     ControllerStats ctrlStats;
     afa::obs::SpanLog *spanLog = nullptr;

@@ -32,6 +32,12 @@ stageName(Stage stage)
         return "device_xfer";
       case Stage::IrqDeliver:
         return "irq_deliver";
+      case Stage::FaultStall:
+        return "fault_stall";
+      case Stage::RetryWait:
+        return "retry_wait";
+      case Stage::RebuildIo:
+        return "rebuild_io";
     }
     return "unknown";
 }
@@ -56,6 +62,8 @@ categoryName(Category category)
         return "nand";
       case Category::Irq:
         return "irq";
+      case Category::Fault:
+        return "fault";
     }
     return "unknown";
 }
@@ -66,7 +74,7 @@ parseCategories(std::string_view list)
     static constexpr Category kAll[] = {
         Category::Workload, Category::Sched, Category::Pcie,
         Category::Nvme,     Category::Smart, Category::Ftl,
-        Category::Nand,     Category::Irq,
+        Category::Nand,     Category::Irq,   Category::Fault,
     };
 
     std::uint32_t mask = 0;
@@ -95,7 +103,8 @@ parseCategories(std::string_view list)
         if (!found)
             afa::sim::fatal(
                 "--trace: unknown category '%.*s' (categories: "
-                "workload sched pcie nvme smart ftl nand irq, or all)",
+                "workload sched pcie nvme smart ftl nand irq fault, "
+                "or all)",
                 static_cast<int>(token.size()), token.data());
     }
     return mask;

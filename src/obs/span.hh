@@ -46,10 +46,13 @@ enum class Stage : std::uint8_t {
     NandRead,        ///< die tR + channel transfer for one page read
     DeviceXfer,      ///< controller internal DMA to the host buffer
     IrqDeliver,      ///< MSI-X raise -> completion handler ran
+    FaultStall,      ///< injected device fault: limp/stall extra time
+    RetryWait,       ///< driver timeout -> backoff -> resubmission
+    RebuildIo,       ///< one rebuild-engine chunk (read+rewrite)
 };
 
 /** Number of stages (array sizing). */
-constexpr unsigned kStageCount = 12;
+constexpr unsigned kStageCount = 15;
 
 /** Category bits for enabling/compiling-out groups of stages. */
 enum class Category : std::uint32_t {
@@ -61,10 +64,11 @@ enum class Category : std::uint32_t {
     Ftl = 1u << 5,      ///< FtlRead
     Nand = 1u << 6,     ///< NandRead
     Irq = 1u << 7,      ///< IrqDeliver
+    Fault = 1u << 8,    ///< FaultStall, RetryWait, RebuildIo
 };
 
 /** All categories enabled. */
-constexpr std::uint32_t kAllCategories = 0xffu;
+constexpr std::uint32_t kAllCategories = 0x1ffu;
 
 constexpr std::uint32_t
 categoryBit(Category c)
@@ -108,6 +112,10 @@ categoryOf(Stage stage)
         return Category::Nand;
       case Stage::IrqDeliver:
         return Category::Irq;
+      case Stage::FaultStall:
+      case Stage::RetryWait:
+      case Stage::RebuildIo:
+        return Category::Fault;
     }
     return Category::Workload;
 }

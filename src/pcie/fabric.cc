@@ -123,7 +123,49 @@ Fabric::finalize()
         }
     }
     linkResv.assign(links.size(), {});
+    linkFaultRate.assign(links.size(), 0.0);
+    faultedLinks = 0;
     isFinalized = true;
+}
+
+void
+Fabric::setLinkFaultRate(std::size_t link_idx, double rate)
+{
+    double &cur = linkFaultRate[link_idx];
+    if (cur == 0.0 && rate > 0.0)
+        ++faultedLinks;
+    else if (cur > 0.0 && rate == 0.0)
+        --faultedLinks;
+    cur = rate;
+}
+
+void
+Fabric::setEndpointFault(NodeId endpoint, double rate)
+{
+    if (!isFinalized)
+        afa::sim::fatal("fabric %s: setEndpointFault before finalize()",
+                        name().c_str());
+    checkNode(endpoint);
+    if (rate > 0.0 && !faultRng)
+        afa::sim::panic("fabric %s: endpoint fault without a fault "
+                        "rng (setFaultRng() first)", name().c_str());
+    if (rate < 0.0 || rate >= 1.0)
+        afa::sim::fatal("fabric %s: link fault rate %.3f out of [0, 1)",
+                        name().c_str(), rate);
+    // Both directions: TX and RX lanes of the endpoint's links.
+    for (const auto &[nbr, li] : nodeInfo[endpoint].out) {
+        setLinkFaultRate(li, rate);
+        setLinkFaultRate(linkIndex(nbr, endpoint), rate);
+    }
+}
+
+bool
+Fabric::routeFaulted(std::uint32_t first, std::uint32_t last) const
+{
+    for (std::uint32_t i = first; i != last; ++i)
+        if (linkFaultRate[pathHops[i].link] > 0.0)
+            return true;
+    return false;
 }
 
 std::size_t
@@ -179,6 +221,20 @@ Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
     Tick arrive = link.transfer(enter, bytes);
     fabricStats.totalQueueDelay += (arrive - enter) -
         link.serialization(bytes) - link.params().propagation;
+    if (faultedLinks) {
+        // Injected link fault: each delivery attempt is corrupted
+        // with probability `rate` and the payload re-serialised.
+        // Bounded so a spec rate close to 1 cannot livelock the hop.
+        double rate = linkFaultRate[ph.link];
+        if (rate > 0.0) {
+            unsigned replays = 0;
+            while (replays < 16 && faultRng->chance(rate)) {
+                arrive = link.transfer(arrive, bytes);
+                ++replays;
+            }
+            fabricStats.linkReplays += replays;
+        }
+    }
     NodeId next = ph.to;
     if (next == dst) {
         at(arrive, std::move(on_delivered));
@@ -219,7 +275,8 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
     // the horizons yet, so reserving ahead of one could steal the
     // FIFO slot the reference model gives it (see DESIGN.md
     // "Events-per-IO budget").
-    if (fastPathEnabled && chainInFlight == 0) {
+    if (fastPathEnabled && chainInFlight == 0 &&
+        (faultedLinks == 0 || !routeFaulted(first, last))) {
         // Walk the precompiled route, reserving each link at the
         // packet's computed entry time while the path stays
         // uncontended. Entry times are exactly what the per-hop chain

@@ -57,6 +57,9 @@ struct FabricStats
     /** Packets that took the per-hop event model (contention hit, or
      *  the fast path disabled). Self-sends count for neither. */
     std::uint64_t fallbackPackets = 0;
+    /** Transfers repeated because an injected link fault corrupted
+     *  them (each replay re-serialises the full payload). */
+    std::uint64_t linkReplays = 0;
 };
 
 /**
@@ -155,6 +158,32 @@ class Fabric : public afa::sim::SimObject
 
     /** True while the uncontended fast path is enabled. */
     bool fastPath() const { return fastPathEnabled; }
+
+    /**
+     * The random stream link-fault replay coin flips draw from. Must
+     * be set before any endpoint fault activates; the FaultEngine
+     * passes its own plan-seeded stream so faulted runs replay
+     * identically at any --jobs (detlint: fault-rng).
+     */
+    void setFaultRng(afa::sim::Rng *rng) { faultRng = rng; }
+
+    /**
+     * Inject (rate > 0) or clear (rate == 0) a transient error rate on
+     * every directed link adjacent to @p endpoint: each transfer on a
+     * faulted link is independently corrupted with probability @p rate
+     * and replayed in full, possibly repeatedly. Routes crossing a
+     * faulted link leave the single-event fast path and take the
+     * per-hop reference model, so replay delays propagate exactly
+     * (PR 3 contract); with no faulted links the only added send()
+     * cost is one integer test.
+     */
+    void setEndpointFault(NodeId endpoint, double rate);
+
+    /** Remove the fault on @p endpoint (setEndpointFault(.., 0)). */
+    void clearEndpointFault(NodeId endpoint)
+    {
+        setEndpointFault(endpoint, 0.0);
+    }
 
     /** Name of a node. */
     const std::string &nodeName(NodeId id) const;
@@ -260,6 +289,12 @@ class Fabric : public afa::sim::SimObject
      * FIFO order equal to arrival order (see fabric.cc).
      */
     std::uint64_t chainInFlight = 0;
+    // Injected per-link fault state (parallel to links; sized in
+    // finalize()). faultedLinks counts entries with rate > 0 so the
+    // healthy-path cost of the fault hooks is a single integer test.
+    std::vector<double> linkFaultRate;
+    unsigned faultedLinks = 0;
+    afa::sim::Rng *faultRng = nullptr;
     FabricStats fabricStats;
     afa::obs::SpanLog *spanLog = nullptr;
     /**
@@ -283,6 +318,8 @@ class Fabric : public afa::sim::SimObject
 
     void hop(NodeId at, NodeId dst, std::uint32_t bytes,
              afa::sim::EventFn on_delivered);
+    void setLinkFaultRate(std::size_t link_idx, double rate);
+    bool routeFaulted(std::uint32_t first, std::uint32_t last) const;
     afa::sim::EventFn chainWrap(afa::sim::EventFn on_delivered);
     std::uint32_t allocFlight(std::uint32_t path_first, NodeId dst,
                               std::uint32_t bytes);

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Background RAID rebuild engine.
+ *
+ * After a member SSD is replaced, the array must reconstruct its
+ * contents from the surviving members onto the spare. The rebuild is
+ * not free: every chunk is a real fan-out read of the survivors plus
+ * a write to the target, submitted through the same IoEngine the
+ * foreground workload uses — so rebuild traffic contends for the
+ * fabric, the controllers and the NAND exactly like client I/O, which
+ * is what makes a rebuilding array measurably slower (the paper's
+ * tail-at-scale effect with a self-inflicted background load).
+ *
+ * Pacing: `interChunkDelay` idles the engine between chunks, the
+ * usual rebuild-rate throttle (md's sync_speed_max analogue). Zero
+ * delay rebuilds as fast as the devices allow.
+ */
+
+#ifndef AFA_RAID_REBUILD_HH
+#define AFA_RAID_REBUILD_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "workload/io_engine.hh"
+
+namespace afa::obs {
+class SpanLog;
+} // namespace afa::obs
+
+namespace afa::raid {
+
+/** Rebuild configuration. */
+struct RebuildParams
+{
+    /** Devices read to reconstruct each chunk (the survivors). */
+    std::vector<unsigned> sources;
+
+    /** Device the reconstructed data is written to (the spare). */
+    unsigned target = 0;
+
+    /** Total extent to rebuild, in 4 KiB blocks. */
+    std::uint64_t blocks = 0;
+
+    /** Blocks reconstructed per chunk (one read fan-out + write). */
+    std::uint32_t chunkBlocks = 256;
+
+    /** Idle time between chunks (rebuild-rate throttle). */
+    afa::sim::Tick interChunkDelay = 0;
+
+    /** CPU the rebuild daemon submits from. */
+    unsigned cpu = 0;
+};
+
+/** Rebuild progress counters. */
+struct RebuildStats
+{
+    std::uint64_t blocksDone = 0;
+    std::uint64_t chunks = 0;
+    afa::sim::Tick startedAt = 0;
+    afa::sim::Tick finishedAt = 0;
+    bool running = false;
+    bool done = false;
+};
+
+/**
+ * Streams reconstruction chunks through an IoEngine: per chunk, read
+ * all sources (join on the slowest), write the target, optionally
+ * idle, repeat until `blocks` are done.
+ */
+class RebuildEngine : public afa::sim::SimObject
+{
+  public:
+    RebuildEngine(afa::sim::Simulator &simulator,
+                  std::string engine_name,
+                  afa::workload::IoEngine &engine,
+                  const RebuildParams &params);
+
+    /** Begin rebuilding at @p start_at (absolute tick). */
+    void start(afa::sim::Tick start_at = 0);
+
+    /** Invoked once when the last chunk's write completes. */
+    void setOnComplete(std::function<void()> fn)
+    {
+        onComplete = std::move(fn);
+    }
+
+    /** Attach the obs span log; nullptr detaches. */
+    void attachSpanLog(afa::obs::SpanLog *log) { spanLog = log; }
+
+    const RebuildStats &stats() const { return rebStats; }
+    const RebuildParams &params() const { return rebParams; }
+
+    /** Rebuild progress in [0, 1]. */
+    double progress() const
+    {
+        if (rebParams.blocks == 0)
+            return 1.0;
+        return static_cast<double>(rebStats.blocksDone) /
+            static_cast<double>(rebParams.blocks);
+    }
+
+  private:
+    afa::workload::IoEngine &inner;
+    RebuildParams rebParams;
+    RebuildStats rebStats;
+    afa::obs::SpanLog *spanLog = nullptr;
+    std::function<void()> onComplete;
+    std::uint64_t nextLba = 0;
+    std::uint64_t chunkSeq = 0;
+    bool started = false;
+
+    void rebuildChunk();
+    void chunkDone(afa::sim::Tick chunk_begin, std::uint64_t tag,
+                   std::uint32_t chunk_blocks);
+};
+
+} // namespace afa::raid
+
+#endif // AFA_RAID_REBUILD_HH

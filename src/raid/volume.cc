@@ -9,6 +9,27 @@
 namespace afa::raid {
 
 using afa::workload::IoRequest;
+using afa::workload::IoResult;
+
+namespace {
+
+/** Fan-out join: completes the client when the last member does,
+ *  carrying the last handler CPU and the worst status seen. */
+struct Join
+{
+    std::size_t remaining = 0;
+    IoResult result;
+
+    void
+    fold(const IoResult &member_result)
+    {
+        result.cpu = member_result.cpu;
+        if (!member_result.ok())
+            result.status = member_result.status;
+    }
+};
+
+} // namespace
 
 StripedVolume::StripedVolume(afa::sim::Simulator &simulator,
                              std::string volume_name,
@@ -90,7 +111,8 @@ StripedVolume::submit(unsigned cpu, const IoRequest &request,
     // Fan out; the client completes with the slowest member (the
     // tail-at-scale join). The reported handler CPU is the last
     // completion's, matching what a reaping thread would observe.
-    auto remaining = std::make_shared<std::size_t>(subs.size());
+    auto join = std::make_shared<Join>();
+    join->remaining = subs.size();
     volStats.memberIos += subs.size();
     for (const SubIo &sub : subs) {
         IoRequest child;
@@ -98,11 +120,13 @@ StripedVolume::submit(unsigned cpu, const IoRequest &request,
         child.op = request.op;
         child.lba = sub.lba;
         child.bytes = sub.blocks * afa::nvme::kLogicalBlockBytes;
+        child.tag = request.tag;
         inner.submit(cpu, child,
-                     [remaining, on_device_complete](
-                         unsigned handler_cpu) {
-                         if (--*remaining == 0)
-                             on_device_complete(handler_cpu);
+                     [join, on_device_complete](
+                         const IoResult &result) {
+                         join->fold(result);
+                         if (--join->remaining == 0)
+                             on_device_complete(join->result);
                      });
     }
 }
@@ -120,6 +144,25 @@ MirroredVolume::MirroredVolume(afa::sim::Simulator &simulator,
         afa::sim::fatal("%s: a volume needs at least one member",
                         name().c_str());
     memberReads.assign(members.size(), 0);
+    failedMembers.assign(members.size(), false);
+}
+
+void
+MirroredVolume::setMemberFailed(unsigned member_index, bool failed)
+{
+    if (member_index >= members.size())
+        afa::sim::panic("%s: member %u out of range", name().c_str(),
+                        member_index);
+    failedMembers[member_index] = failed;
+}
+
+bool
+MirroredVolume::memberFailed(unsigned member_index) const
+{
+    if (member_index >= members.size())
+        afa::sim::panic("%s: member %u out of range", name().c_str(),
+                        member_index);
+    return failedMembers[member_index];
 }
 
 std::uint64_t
@@ -143,34 +186,304 @@ MirroredVolume::submit(unsigned cpu, const IoRequest &request,
                         name().c_str());
     ++volStats.clientIos;
     if (request.op == afa::nvme::Op::Write) {
-        // Replicate; complete with the slowest member.
+        // Replicate to every live member; complete with the slowest.
         ++volStats.writes;
-        volStats.memberIos += members.size();
-        auto remaining = std::make_shared<std::size_t>(members.size());
-        for (unsigned m : members) {
+        std::size_t live = 0;
+        for (unsigned m = 0; m < members.size(); ++m)
+            if (!failedMembers[m])
+                ++live;
+        if (live == 0) {
+            ++volStats.failedIos;
+            after(0, [cpu, cb = std::move(on_device_complete)] {
+                cb(IoResult{cpu, afa::nvme::Status::Aborted});
+            });
+            return;
+        }
+        volStats.memberIos += live;
+        auto join = std::make_shared<Join>();
+        join->remaining = live;
+        for (unsigned m = 0; m < members.size(); ++m) {
+            if (failedMembers[m])
+                continue;
             IoRequest child = request;
-            child.device = m;
+            child.device = members[m];
             inner.submit(cpu, child,
-                         [remaining, on_device_complete](
-                             unsigned handler_cpu) {
-                             if (--*remaining == 0)
-                                 on_device_complete(handler_cpu);
+                         [join, on_device_complete](
+                             const IoResult &result) {
+                             join->fold(result);
+                             if (--join->remaining == 0)
+                                 on_device_complete(join->result);
                          });
         }
         return;
     }
-    // Read from one member per the policy.
+    // Read from one live member per the policy; a member that answers
+    // with an error is failed on the spot and the read re-tried on a
+    // survivor (degraded read).
     ++volStats.reads;
-    ++volStats.memberIos;
-    unsigned pick = 0;
-    if (policy == ReadPolicy::RoundRobin) {
-        pick = nextRead;
-        nextRead = (nextRead + 1) % members.size();
+    submitRead(cpu, request, std::move(on_device_complete));
+}
+
+unsigned
+MirroredVolume::pickReadMember()
+{
+    const unsigned n = static_cast<unsigned>(members.size());
+    if (policy == ReadPolicy::Primary) {
+        for (unsigned m = 0; m < n; ++m)
+            if (!failedMembers[m])
+                return m;
+        return kNoMember;
     }
+    for (unsigned tries = 0; tries < n; ++tries) {
+        unsigned pick = nextRead;
+        nextRead = (nextRead + 1) % n;
+        if (!failedMembers[pick])
+            return pick;
+    }
+    return kNoMember;
+}
+
+void
+MirroredVolume::submitRead(unsigned cpu, const IoRequest &request,
+                           CompleteFn on_device_complete)
+{
+    unsigned pick = pickReadMember();
+    if (pick == kNoMember) {
+        ++volStats.failedIos;
+        after(0, [cpu, cb = std::move(on_device_complete)] {
+            cb(IoResult{cpu, afa::nvme::Status::Aborted});
+        });
+        return;
+    }
+    ++volStats.memberIos;
     ++memberReads[pick];
     IoRequest child = request;
     child.device = members[pick];
-    inner.submit(cpu, child, std::move(on_device_complete));
+    inner.submit(
+        cpu, child,
+        [this, cpu, request, pick,
+         cb = std::move(on_device_complete)](
+            const IoResult &result) mutable {
+            if (result.ok()) {
+                cb(result);
+                return;
+            }
+            // The member gave up (driver timeout on a dropped-out
+            // device): fail it over and re-read a survivor.
+            setMemberFailed(pick, true);
+            ++volStats.degradedReads;
+            submitRead(cpu, request, std::move(cb));
+        });
+}
+
+// ---------------------------------------------------------------------
+// ParityVolume
+// ---------------------------------------------------------------------
+
+ParityVolume::ParityVolume(afa::sim::Simulator &simulator,
+                           std::string volume_name,
+                           afa::workload::IoEngine &engine,
+                           std::vector<unsigned> member_devices,
+                           std::uint32_t strip_blocks)
+    : SimObject(simulator, std::move(volume_name)), inner(engine),
+      members(std::move(member_devices)), stripBlocks(strip_blocks)
+{
+    if (members.size() < 3)
+        afa::sim::fatal("%s: a parity volume needs >= 3 members",
+                        name().c_str());
+    if (stripBlocks == 0)
+        afa::sim::fatal("%s: strip size must be >= 1 block",
+                        name().c_str());
+    failedMembers.assign(members.size(), false);
+}
+
+void
+ParityVolume::setMemberFailed(unsigned member_index, bool failed)
+{
+    if (member_index >= members.size())
+        afa::sim::panic("%s: member %u out of range", name().c_str(),
+                        member_index);
+    failedMembers[member_index] = failed;
+}
+
+bool
+ParityVolume::memberFailed(unsigned member_index) const
+{
+    if (member_index >= members.size())
+        afa::sim::panic("%s: member %u out of range", name().c_str(),
+                        member_index);
+    return failedMembers[member_index];
+}
+
+ParityVolume::BlockMap
+ParityVolume::mapBlock(std::uint64_t volume_lba) const
+{
+    const std::uint64_t width = members.size();
+    const std::uint64_t data_width = width - 1;
+    std::uint64_t strip = volume_lba / stripBlocks;
+    std::uint64_t within = volume_lba % stripBlocks;
+    std::uint64_t stripe = strip / data_width;
+    unsigned slot = static_cast<unsigned>(strip % data_width);
+    unsigned parity = static_cast<unsigned>(stripe % width);
+    unsigned data = slot < parity ? slot : slot + 1;
+    return BlockMap{data, parity, stripe * stripBlocks + within};
+}
+
+std::uint64_t
+ParityVolume::deviceBlocks(unsigned device) const
+{
+    if (device != 0)
+        afa::sim::panic("%s: volumes expose a single device 0",
+                        name().c_str());
+    std::uint64_t smallest = inner.deviceBlocks(members[0]);
+    for (unsigned m : members)
+        smallest = std::min(smallest, inner.deviceBlocks(m));
+    return smallest * (members.size() - 1);
+}
+
+void
+ParityVolume::readBlock(unsigned cpu, const BlockMap &map,
+                        std::uint64_t tag, CompleteFn on_done)
+{
+    IoRequest child;
+    child.op = afa::nvme::Op::Read;
+    child.lba = map.memberLba;
+    child.bytes = afa::nvme::kLogicalBlockBytes;
+    child.tag = tag;
+    if (!failedMembers[map.dataMember]) {
+        child.device = members[map.dataMember];
+        ++volStats.memberIos;
+        inner.submit(
+            cpu, child,
+            [this, cpu, map, tag,
+             cb = std::move(on_done)](const IoResult &result) mutable {
+                if (result.ok()) {
+                    cb(result);
+                    return;
+                }
+                // Fail the member over and reconstruct instead.
+                setMemberFailed(map.dataMember, true);
+                readBlock(cpu, map, tag, std::move(cb));
+            });
+        return;
+    }
+    // Degraded read: XOR the stripe row of every surviving member
+    // (including parity) back together; the join completes with the
+    // slowest survivor, which is what makes a degraded array slow.
+    ++volStats.degradedReads;
+    auto join = std::make_shared<Join>();
+    join->remaining = members.size() - 1;
+    for (unsigned m = 0; m < members.size(); ++m) {
+        if (m == map.dataMember)
+            continue;
+        child.device = members[m];
+        ++volStats.memberIos;
+        inner.submit(cpu, child,
+                     [join, on_done](const IoResult &result) {
+                         join->fold(result);
+                         if (--join->remaining == 0)
+                             on_done(join->result);
+                     });
+    }
+}
+
+void
+ParityVolume::writeBlock(unsigned cpu, const BlockMap &map,
+                         std::uint64_t tag, CompleteFn on_done)
+{
+    IoRequest io;
+    io.lba = map.memberLba;
+    io.bytes = afa::nvme::kLogicalBlockBytes;
+    io.tag = tag;
+    const bool data_ok = !failedMembers[map.dataMember];
+    const bool parity_ok = !failedMembers[map.parityMember];
+    if (!data_ok || !parity_ok) {
+        if (!data_ok && !parity_ok) {
+            ++volStats.failedIos;
+            after(0, [cpu, cb = std::move(on_done)] {
+                cb(IoResult{cpu, afa::nvme::Status::Aborted});
+            });
+            return;
+        }
+        // Degraded write: no old copy to fold in; the survivor of the
+        // (data, parity) pair absorbs the update directly.
+        io.op = afa::nvme::Op::Write;
+        io.device = members[data_ok ? map.dataMember
+                                    : map.parityMember];
+        ++volStats.memberIos;
+        inner.submit(cpu, io, std::move(on_done));
+        return;
+    }
+    // The RAID-5 small-write penalty: read old data + old parity,
+    // then write new data + new parity (two joins back to back).
+    io.op = afa::nvme::Op::Read;
+    auto read_join = std::make_shared<Join>();
+    read_join->remaining = 2;
+    auto phase2 = [this, cpu, map, io,
+                   on_done](const IoResult &read_result) mutable {
+        if (!read_result.ok()) {
+            on_done(read_result);
+            return;
+        }
+        io.op = afa::nvme::Op::Write;
+        auto write_join = std::make_shared<Join>();
+        write_join->remaining = 2;
+        for (unsigned m : {map.dataMember, map.parityMember}) {
+            io.device = members[m];
+            ++volStats.memberIos;
+            inner.submit(cpu, io,
+                         [write_join, on_done](const IoResult &result) {
+                             write_join->fold(result);
+                             if (--write_join->remaining == 0)
+                                 on_done(write_join->result);
+                         });
+        }
+    };
+    for (unsigned m : {map.dataMember, map.parityMember}) {
+        io.device = members[m];
+        ++volStats.memberIos;
+        inner.submit(cpu, io,
+                     [read_join, phase2](const IoResult &result) mutable {
+                         read_join->fold(result);
+                         if (--read_join->remaining == 0)
+                             phase2(read_join->result);
+                     });
+    }
+}
+
+void
+ParityVolume::submit(unsigned cpu, const IoRequest &request,
+                     CompleteFn on_device_complete)
+{
+    if (request.device != 0)
+        afa::sim::panic("%s: volumes expose a single device 0",
+                        name().c_str());
+    const std::uint64_t blocks =
+        request.bytes / afa::nvme::kLogicalBlockBytes;
+    if (blocks == 0)
+        afa::sim::panic("%s: zero-length volume I/O", name().c_str());
+    ++volStats.clientIos;
+    const bool is_write = request.op == afa::nvme::Op::Write;
+    if (is_write)
+        ++volStats.writes;
+    else
+        ++volStats.reads;
+    auto join = std::make_shared<Join>();
+    join->remaining = blocks;
+    CompleteFn per_block = [join, on_device_complete =
+                                      std::move(on_device_complete)](
+                               const IoResult &result) {
+        join->fold(result);
+        if (--join->remaining == 0)
+            on_device_complete(join->result);
+    };
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        BlockMap map = mapBlock(request.lba + b);
+        if (is_write)
+            writeBlock(cpu, map, request.tag, per_block);
+        else
+            readBlock(cpu, map, request.tag, per_block);
+    }
 }
 
 } // namespace afa::raid

@@ -35,6 +35,12 @@ struct VolumeStats
     std::uint64_t memberIos = 0;
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    /** Reads served degraded: a mirror failover re-read, or a parity
+     *  reconstruction from the surviving members. */
+    std::uint64_t degradedReads = 0;
+    /** Client IOs that completed with an error status (every member
+     *  that could serve them had failed). */
+    std::uint64_t failedIos = 0;
 };
 
 /**
@@ -115,6 +121,18 @@ class MirroredVolume : public afa::sim::SimObject,
         return memberReads;
     }
 
+    /**
+     * Mark a member failed (reads avoid it, writes skip it) or
+     * restore it — called by recovery logic when a rebuild finishes.
+     * A read that *hits* a failing member marks it automatically when
+     * the error status comes back, then retries on a survivor
+     * (degraded read).
+     */
+    void setMemberFailed(unsigned member_index, bool failed);
+
+    /** True while a member is marked failed. */
+    bool memberFailed(unsigned member_index) const;
+
   private:
     afa::workload::IoEngine &inner;
     std::vector<unsigned> members;
@@ -122,6 +140,78 @@ class MirroredVolume : public afa::sim::SimObject,
     unsigned nextRead;
     VolumeStats volStats;
     std::vector<std::uint64_t> memberReads;
+    std::vector<bool> failedMembers;
+
+    static constexpr unsigned kNoMember = ~0u;
+
+    unsigned pickReadMember();
+    void submitRead(unsigned cpu,
+                    const afa::workload::IoRequest &request,
+                    CompleteFn on_device_complete);
+};
+
+/**
+ * RAID-5: data strips rotate with one parity strip per stripe.
+ *
+ * Healthy reads go to the data member alone; when that member is
+ * failed the block is reconstructed by reading the stripe row from
+ * every surviving member — the degraded fan-out whose join exposes
+ * the slowest survivor, which is what makes a rebuilding array slow.
+ * Writes pay the classic small-write penalty: read old data + old
+ * parity, then write data + parity (degraded writes fall back to
+ * updating whichever of the pair still lives).
+ */
+class ParityVolume : public afa::sim::SimObject,
+                     public afa::workload::IoEngine
+{
+  public:
+    ParityVolume(afa::sim::Simulator &simulator,
+                 std::string volume_name,
+                 afa::workload::IoEngine &engine,
+                 std::vector<unsigned> members,
+                 std::uint32_t strip_blocks = 1);
+
+    void submit(unsigned cpu, const afa::workload::IoRequest &request,
+                CompleteFn on_device_complete) override;
+
+    /** Volume capacity: (width - 1) data shares of the smallest. */
+    std::uint64_t deviceBlocks(unsigned device) const override;
+
+    unsigned width() const
+    {
+        return static_cast<unsigned>(members.size());
+    }
+    const VolumeStats &stats() const { return volStats; }
+
+    /** Mark/restore a failed member (at most one at a time). */
+    void setMemberFailed(unsigned member_index, bool failed);
+
+    /** True while a member is marked failed. */
+    bool memberFailed(unsigned member_index) const;
+
+    /**
+     * Map a volume LBA to (data member index, parity member index,
+     * member LBA). Member indices are positions in the member list.
+     */
+    struct BlockMap
+    {
+        unsigned dataMember;
+        unsigned parityMember;
+        std::uint64_t memberLba;
+    };
+    BlockMap mapBlock(std::uint64_t volume_lba) const;
+
+  private:
+    afa::workload::IoEngine &inner;
+    std::vector<unsigned> members;
+    std::uint32_t stripBlocks;
+    VolumeStats volStats;
+    std::vector<bool> failedMembers;
+
+    void readBlock(unsigned cpu, const BlockMap &map,
+                   std::uint64_t tag, CompleteFn on_done);
+    void writeBlock(unsigned cpu, const BlockMap &map,
+                    std::uint64_t tag, CompleteFn on_done);
 };
 
 } // namespace afa::raid

@@ -160,15 +160,18 @@ FioThread::issueOne(Tick enqueued_at)
     if (spanLog && spanLog->wants(afa::obs::Category::Workload))
         spanLog->record(afa::obs::Stage::SubmitQueue, io.tag,
                         enqueued_at, now(), afa::obs::cpuTrack(cpu));
+    io.failed = false;
     if (fioJob.polling) {
         pollCompleteFlag = false;
-        engine.submit(cpu, req,
-                      [this](unsigned) { pollCompleteFlag = true; });
+        engine.submit(cpu, req, [this, slot](const IoResult &result) {
+            slots[slot].failed = !result.ok();
+            pollCompleteFlag = true;
+        });
         pollStep(slot);
         return;
     }
-    engine.submit(cpu, req, [this, slot](unsigned handler_cpu) {
-        onDeviceComplete(slot, handler_cpu);
+    engine.submit(cpu, req, [this, slot](const IoResult &result) {
+        onDeviceComplete(slot, result);
     });
 }
 
@@ -185,11 +188,12 @@ FioThread::pollStep(std::uint32_t slot)
 }
 
 void
-FioThread::onDeviceComplete(std::uint32_t slot, unsigned handler_cpu)
+FioThread::onDeviceComplete(std::uint32_t slot, const IoResult &result)
 {
+    slots[slot].failed = !result.ok();
     // Completion handled on a remote CPU needs an IPI to wake us.
     Tick ipi = 0;
-    if (handler_cpu != sched.taskCpu(task))
+    if (result.cpu != sched.taskCpu(task))
         ipi = sched.config().irq.ipiCost;
     after(ipi, [this, slot] {
         enqueueWork(fioJob.reapCost, [this, slot] { finishIo(slot); });
@@ -201,10 +205,17 @@ FioThread::finishIo(std::uint32_t slot)
 {
     IoSlot &io = slots[slot];
     Tick latency = now() - io.submitTick;
-    hist.record(latency);
-    if (scatter)
-        scatter->record(now(), latency,
-                        static_cast<std::uint32_t>(dev));
+    if (io.failed) {
+        // Failed IOs (driver gave up) report an error like fio does;
+        // their latency is the retry budget, not a device service
+        // time, so it stays out of the latency statistics.
+        ++threadStats.errors;
+    } else {
+        hist.record(latency);
+        if (scatter)
+            scatter->record(now(), latency,
+                            static_cast<std::uint32_t>(dev));
+    }
     if (spanLog && spanLog->wants(afa::obs::Category::Workload))
         spanLog->record(afa::obs::Stage::Complete, io.tag,
                         io.submitTick, now(), afa::obs::ssdTrack(dev),

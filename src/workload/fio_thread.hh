@@ -37,6 +37,10 @@ struct FioThreadStats
     std::uint64_t completed = 0;
     std::uint64_t readBytes = 0;
     std::uint64_t writeBytes = 0;
+    /** IOs that completed unsuccessfully (e.g. driver timeout on a
+     *  dropped-out device). Counted in `completed` too; error
+     *  latencies are excluded from the histogram/scatter. */
+    std::uint64_t errors = 0;
 };
 
 /** A FIO worker bound to one device. */
@@ -114,6 +118,7 @@ class FioThread : public afa::sim::SimObject
     {
         afa::sim::Tick submitTick = 0;
         std::uint64_t tag = 0;
+        bool failed = false; ///< completion carried an error status
     };
     std::vector<IoSlot> slots;          ///< ioDepth entries
     std::vector<std::uint32_t> freeSlots;
@@ -124,7 +129,7 @@ class FioThread : public afa::sim::SimObject
     void maybeSubmit();
     void issueOne(afa::sim::Tick enqueued_at);
     IoRequest nextRequest();
-    void onDeviceComplete(std::uint32_t slot, unsigned handler_cpu);
+    void onDeviceComplete(std::uint32_t slot, const IoResult &result);
     void pollStep(std::uint32_t slot);
     void finishIo(std::uint32_t slot);
 

@@ -30,6 +30,23 @@ struct IoRequest
 };
 
 /**
+ * Outcome of one async request, handed to the completion callback.
+ *
+ * @p cpu is the CPU the completion was handled on (the interrupt
+ * handler's CPU, or the submitter's for a driver-side abort). @p
+ * status is the NVMe completion status; a command the driver gave up
+ * on after its timeout/retry budget reports Status::TimedOut without
+ * the device ever answering.
+ */
+struct IoResult
+{
+    unsigned cpu = 0;
+    afa::nvme::Status status = afa::nvme::Status::Success;
+
+    bool ok() const { return status == afa::nvme::Status::Success; }
+};
+
+/**
  * Async I/O engine.
  *
  * submit() returns immediately; @p on_device_complete fires in
@@ -41,7 +58,7 @@ struct IoRequest
 class IoEngine
 {
   public:
-    using CompleteFn = std::function<void(unsigned handler_cpu)>;
+    using CompleteFn = std::function<void(const IoResult &result)>;
 
     virtual ~IoEngine() = default;
 

@@ -64,10 +64,12 @@ TEST_F(AfaSystemTest, DriverRoundTrip)
     req.op = afa::nvme::Op::Read;
     req.lba = 100;
     req.bytes = 4096;
-    system->ioEngine().submit(14, req, [&](unsigned cpu) {
-        handler_cpu = cpu;
-        completed_at = sim->now();
-    });
+    system->ioEngine().submit(
+        14, req, [&](const afa::workload::IoResult &result) {
+            EXPECT_TRUE(result.ok());
+            handler_cpu = result.cpu;
+            completed_at = sim->now();
+        });
     EXPECT_EQ(system->outstandingCommands(), 1u);
     sim->run(msec(5));
     EXPECT_EQ(system->outstandingCommands(), 0u);
@@ -102,7 +104,9 @@ TEST_F(AfaSystemTest, WritesReachTheFtl)
     req.lba = 42;
     req.bytes = 4096;
     bool done = false;
-    system->ioEngine().submit(4, req, [&](unsigned) { done = true; });
+    system->ioEngine().submit(
+        4, req,
+        [&](const afa::workload::IoResult &) { done = true; });
     sim->run(msec(5));
     EXPECT_TRUE(done);
     EXPECT_TRUE(system->ssd(0).ftl().isMapped(42));
@@ -117,8 +121,9 @@ TEST_F(AfaSystemTest, ParallelSubmissionsToManySsds)
         afa::workload::IoRequest req;
         req.device = d;
         req.lba = d;
-        system->ioEngine().submit(4 + d, req,
-                                  [&](unsigned) { ++completions; });
+        system->ioEngine().submit(
+            4 + d, req,
+            [&](const afa::workload::IoResult &) { ++completions; });
     }
     sim->run(msec(5));
     EXPECT_EQ(completions, 8u);
@@ -139,7 +144,8 @@ TEST_F(AfaSystemTest, BadDeviceIndexPanics)
     afa::workload::IoRequest req;
     req.device = 5;
     EXPECT_THROW(
-        system->ioEngine().submit(4, req, [](unsigned) {}),
+        system->ioEngine().submit(
+            4, req, [](const afa::workload::IoResult &) {}),
         afa::sim::SimError);
 }
 

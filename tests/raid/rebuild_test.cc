@@ -1,0 +1,203 @@
+/**
+ * @file
+ * RebuildEngine tests: chunked streaming (read survivors, write the
+ * spare), completion bookkeeping, pacing, and determinism of the
+ * rebuild timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "raid/rebuild.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace afa::raid;
+using afa::sim::Simulator;
+using afa::sim::Tick;
+using afa::sim::usec;
+using afa::workload::IoRequest;
+using afa::workload::IoResult;
+
+namespace {
+
+/** Mock engine with per-device fixed latencies. */
+class MockEngine : public afa::workload::IoEngine
+{
+  public:
+    explicit MockEngine(Simulator &simulator) : sim(simulator) {}
+
+    void
+    submit(unsigned cpu, const IoRequest &request,
+           CompleteFn on_complete) override
+    {
+        (void)cpu;
+        requests.push_back(request);
+        Tick latency = usec(20);
+        if (request.device < perDeviceLatency.size() &&
+            perDeviceLatency[request.device] != 0)
+            latency = perDeviceLatency[request.device];
+        sim.scheduleAfter(latency, [fn = std::move(on_complete)] {
+            fn(IoResult{});
+        });
+    }
+
+    std::uint64_t
+    deviceBlocks(unsigned) const override
+    {
+        return 262144;
+    }
+
+    Simulator &sim;
+    std::vector<Tick> perDeviceLatency;
+    std::vector<IoRequest> requests;
+};
+
+class RebuildTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        afa::sim::setThrowOnError(true);
+        sim = std::make_unique<Simulator>(11);
+        engine = std::make_unique<MockEngine>(*sim);
+    }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    std::unique_ptr<Simulator> sim;
+    std::unique_ptr<MockEngine> engine;
+};
+
+TEST_F(RebuildTest, StreamsEveryChunkThroughTheEngine)
+{
+    RebuildParams params;
+    params.sources = {0, 1, 2};
+    params.target = 3;
+    params.blocks = 1000;
+    params.chunkBlocks = 256;
+    RebuildEngine rebuild(*sim, "rebuild", *engine, params);
+    bool completed = false;
+    rebuild.setOnComplete([&] { completed = true; });
+    rebuild.start(0);
+    sim->run();
+
+    EXPECT_TRUE(completed);
+    const auto &stats = rebuild.stats();
+    EXPECT_TRUE(stats.done);
+    EXPECT_FALSE(stats.running);
+    EXPECT_EQ(stats.blocksDone, 1000u);
+    EXPECT_EQ(stats.chunks, 4u); // 256+256+256+232
+    EXPECT_DOUBLE_EQ(rebuild.progress(), 1.0);
+    // Per chunk: one read per source plus one target write.
+    ASSERT_EQ(engine->requests.size(), 4u * 4u);
+    std::uint64_t reads = 0, writes = 0;
+    for (const auto &req : engine->requests) {
+        if (req.op == afa::nvme::Op::Write) {
+            EXPECT_EQ(req.device, 3u);
+            ++writes;
+        } else {
+            EXPECT_NE(req.device, 3u);
+            ++reads;
+        }
+    }
+    EXPECT_EQ(reads, 12u);
+    EXPECT_EQ(writes, 4u);
+    // The last (short) chunk covers exactly the remaining extent.
+    EXPECT_EQ(engine->requests.back().bytes, 232u * 4096u);
+    EXPECT_EQ(engine->requests.back().lba, 768u);
+}
+
+TEST_F(RebuildTest, ChunkWaitsForSlowestSource)
+{
+    engine->perDeviceLatency = {usec(20), usec(300), usec(20),
+                                usec(20)};
+    RebuildParams params;
+    params.sources = {0, 1, 2};
+    params.target = 3;
+    params.blocks = 256;
+    params.chunkBlocks = 256;
+    RebuildEngine rebuild(*sim, "rebuild", *engine, params);
+    rebuild.start(0);
+    sim->run();
+    // One chunk: slowest source read (300 us) + target write (20 us).
+    EXPECT_EQ(rebuild.stats().finishedAt, usec(320));
+}
+
+TEST_F(RebuildTest, InterChunkDelayPacesTheRebuild)
+{
+    RebuildParams params;
+    params.sources = {0, 1};
+    params.target = 2;
+    params.blocks = 512;
+    params.chunkBlocks = 256;
+    RebuildEngine fast(*sim, "fast", *engine, params);
+    fast.start(0);
+    sim->run();
+    Tick unpaced = fast.stats().finishedAt;
+
+    auto sim2 = std::make_unique<Simulator>(11);
+    MockEngine engine2(*sim2);
+    params.interChunkDelay = usec(500);
+    RebuildEngine paced(*sim2, "paced", engine2, params);
+    paced.start(0);
+    sim2->run();
+    EXPECT_EQ(paced.stats().finishedAt, unpaced + usec(500));
+}
+
+TEST_F(RebuildTest, RebuildTimelineIsDeterministic)
+{
+    auto runOnce = [] {
+        Simulator local_sim(42);
+        MockEngine local_engine(local_sim);
+        RebuildParams params;
+        params.sources = {0, 1, 2};
+        params.target = 3;
+        params.blocks = 700;
+        params.chunkBlocks = 128;
+        RebuildEngine rebuild(local_sim, "rebuild", local_engine,
+                              params);
+        rebuild.start(usec(100));
+        local_sim.run();
+        return rebuild.stats().finishedAt;
+    };
+    Tick first = runOnce();
+    EXPECT_EQ(first, runOnce());
+    EXPECT_GT(first, usec(100));
+}
+
+TEST_F(RebuildTest, BadParamsAreFatal)
+{
+    RebuildParams params;
+    params.target = 0;
+    params.blocks = 10;
+    EXPECT_THROW(RebuildEngine(*sim, "r", *engine, params),
+                 afa::sim::SimError);
+    params.sources = {0, 1};
+    EXPECT_THROW(RebuildEngine(*sim, "r", *engine, params),
+                 afa::sim::SimError); // target is also a source
+    params.sources = {1, 2};
+    params.chunkBlocks = 0;
+    EXPECT_THROW(RebuildEngine(*sim, "r", *engine, params),
+                 afa::sim::SimError);
+}
+
+TEST_F(RebuildTest, ZeroExtentCompletesImmediately)
+{
+    RebuildParams params;
+    params.sources = {1};
+    params.target = 0;
+    params.blocks = 0;
+    RebuildEngine rebuild(*sim, "rebuild", *engine, params);
+    bool completed = false;
+    rebuild.setOnComplete([&] { completed = true; });
+    rebuild.start(0);
+    sim->run();
+    EXPECT_TRUE(completed);
+    EXPECT_TRUE(rebuild.stats().done);
+    EXPECT_EQ(rebuild.stats().chunks, 0u);
+    EXPECT_TRUE(engine->requests.empty());
+}
+
+} // namespace

@@ -19,6 +19,7 @@ using afa::sim::Simulator;
 using afa::sim::Tick;
 using afa::sim::usec;
 using afa::workload::IoRequest;
+using afa::workload::IoResult;
 
 namespace {
 
@@ -38,8 +39,12 @@ class MockEngine : public afa::workload::IoEngine
         if (request.device < perDeviceLatency.size() &&
             perDeviceLatency[request.device] != 0)
             latency = perDeviceLatency[request.device];
-        sim.scheduleAfter(latency,
-                          [fn = std::move(on_complete)] { fn(0); });
+        IoResult result;
+        if (request.device < failDevices.size() &&
+            failDevices[request.device])
+            result.status = afa::nvme::Status::TimedOut;
+        sim.scheduleAfter(latency, [fn = std::move(on_complete),
+                                    result] { fn(result); });
     }
 
     std::uint64_t
@@ -50,6 +55,7 @@ class MockEngine : public afa::workload::IoEngine
 
     Simulator &sim;
     std::vector<Tick> perDeviceLatency;
+    std::vector<bool> failDevices; ///< devices answering with errors
     std::vector<IoRequest> requests;
 };
 
@@ -103,7 +109,7 @@ TEST_F(VolumeTest, LargeIoFansOutAcrossMembers)
     req.lba = 0;
     req.bytes = 4096 * 8; // 8 blocks over 4 members
     bool done = false;
-    vol.submit(0, req, [&](unsigned) { done = true; });
+    vol.submit(0, req, [&](const IoResult &) { done = true; });
     sim->run();
     EXPECT_TRUE(done);
     EXPECT_EQ(engine->requests.size(), 4u); // coalesced per member
@@ -124,7 +130,7 @@ TEST_F(VolumeTest, ClientCompletesWithSlowestMember)
     req.lba = 0;
     req.bytes = 4096 * 4;
     Tick done_at = 0;
-    vol.submit(0, req, [&](unsigned) { done_at = sim->now(); });
+    vol.submit(0, req, [&](const IoResult &) { done_at = sim->now(); });
     sim->run();
     EXPECT_EQ(done_at, usec(200));
 }
@@ -137,7 +143,7 @@ TEST_F(VolumeTest, SmallIoTouchesOneMember)
     req.lba = 5; // member 1, lba 1
     req.bytes = 4096;
     bool done = false;
-    vol.submit(0, req, [&](unsigned) { done = true; });
+    vol.submit(0, req, [&](const IoResult &) { done = true; });
     sim->run();
     EXPECT_TRUE(done);
     ASSERT_EQ(engine->requests.size(), 1u);
@@ -150,7 +156,7 @@ TEST_F(VolumeTest, NonZeroDevicePanics)
     StripedVolume vol(*sim, "vol", *engine, {0, 1}, 1);
     IoRequest req;
     req.device = 1;
-    EXPECT_THROW(vol.submit(0, req, [](unsigned) {}),
+    EXPECT_THROW(vol.submit(0, req, [](const IoResult &) {}),
                  afa::sim::SimError);
     EXPECT_THROW(vol.deviceBlocks(1), afa::sim::SimError);
 }
@@ -174,7 +180,7 @@ TEST_F(VolumeTest, MirrorWritesReplicate)
     req.lba = 7;
     req.bytes = 4096;
     bool done = false;
-    vol.submit(0, req, [&](unsigned) { done = true; });
+    vol.submit(0, req, [&](const IoResult &) { done = true; });
     sim->run();
     EXPECT_TRUE(done);
     EXPECT_EQ(engine->requests.size(), 3u);
@@ -190,7 +196,7 @@ TEST_F(VolumeTest, MirrorWriteWaitsForSlowestReplica)
     req.device = 0;
     req.op = afa::nvme::Op::Write;
     Tick done_at = 0;
-    vol.submit(0, req, [&](unsigned) { done_at = sim->now(); });
+    vol.submit(0, req, [&](const IoResult &) { done_at = sim->now(); });
     sim->run();
     EXPECT_EQ(done_at, usec(500));
 }
@@ -201,7 +207,7 @@ TEST_F(VolumeTest, MirrorRoundRobinSpreadsReads)
     IoRequest req;
     req.device = 0;
     for (int i = 0; i < 10; ++i)
-        vol.submit(0, req, [](unsigned) {});
+        vol.submit(0, req, [](const IoResult &) {});
     sim->run();
     EXPECT_EQ(vol.readsPerMember()[0], 5u);
     EXPECT_EQ(vol.readsPerMember()[1], 5u);
@@ -214,7 +220,7 @@ TEST_F(VolumeTest, MirrorPrimaryPolicyPinsReads)
     IoRequest req;
     req.device = 0;
     for (int i = 0; i < 6; ++i)
-        vol.submit(0, req, [](unsigned) {});
+        vol.submit(0, req, [](const IoResult &) {});
     sim->run();
     EXPECT_EQ(vol.readsPerMember()[0], 6u);
     EXPECT_EQ(vol.readsPerMember()[1], 0u);
@@ -224,6 +230,204 @@ TEST_F(VolumeTest, MirrorCapacityIsSmallestMember)
 {
     MirroredVolume vol(*sim, "vol", *engine, {0, 3});
     EXPECT_EQ(vol.deviceBlocks(0), 1000u);
+}
+
+TEST_F(VolumeTest, MirrorReadFailsOverToSurvivor)
+{
+    engine->failDevices = {true, false};
+    MirroredVolume vol(*sim, "vol", *engine, {0, 1},
+                       ReadPolicy::Primary);
+    IoRequest req;
+    req.device = 0;
+    bool done = false;
+    IoResult seen;
+    vol.submit(0, req, [&](const IoResult &r) {
+        done = true;
+        seen = r;
+    });
+    sim->run();
+    // Primary errored; the read retried on the mirror and succeeded.
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(seen.ok());
+    EXPECT_EQ(engine->requests.size(), 2u);
+    EXPECT_TRUE(vol.memberFailed(0));
+    EXPECT_FALSE(vol.memberFailed(1));
+    EXPECT_EQ(vol.stats().degradedReads, 1u);
+    // Subsequent reads avoid the failed primary entirely.
+    vol.submit(0, req, [](const IoResult &) {});
+    sim->run();
+    EXPECT_EQ(engine->requests.back().device, 1u);
+}
+
+TEST_F(VolumeTest, MirrorAllMembersFailedAborts)
+{
+    MirroredVolume vol(*sim, "vol", *engine, {0, 1});
+    vol.setMemberFailed(0, true);
+    vol.setMemberFailed(1, true);
+    IoRequest req;
+    req.device = 0;
+    IoResult seen;
+    vol.submit(0, req, [&](const IoResult &r) { seen = r; });
+    sim->run();
+    EXPECT_FALSE(seen.ok());
+    EXPECT_EQ(vol.stats().failedIos, 1u);
+    // Writes to an all-failed mirror abort too.
+    req.op = afa::nvme::Op::Write;
+    seen = IoResult{};
+    vol.submit(0, req, [&](const IoResult &r) { seen = r; });
+    sim->run();
+    EXPECT_FALSE(seen.ok());
+    EXPECT_EQ(vol.stats().failedIos, 2u);
+    EXPECT_TRUE(engine->requests.empty());
+}
+
+TEST_F(VolumeTest, MirrorWritesSkipFailedMembers)
+{
+    MirroredVolume vol(*sim, "vol", *engine, {0, 1, 2});
+    vol.setMemberFailed(1, true);
+    IoRequest req;
+    req.device = 0;
+    req.op = afa::nvme::Op::Write;
+    bool done = false;
+    vol.submit(0, req, [&](const IoResult &) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(engine->requests.size(), 2u);
+    EXPECT_EQ(engine->requests[0].device, 0u);
+    EXPECT_EQ(engine->requests[1].device, 2u);
+}
+
+TEST_F(VolumeTest, ParityMappingRotatesParity)
+{
+    ParityVolume vol(*sim, "vol", *engine, {0, 1, 2}, 1);
+    // Stripe 0: parity on member 0, data on members 1 and 2.
+    auto m0 = vol.mapBlock(0);
+    EXPECT_EQ(m0.dataMember, 1u);
+    EXPECT_EQ(m0.parityMember, 0u);
+    EXPECT_EQ(m0.memberLba, 0u);
+    auto m1 = vol.mapBlock(1);
+    EXPECT_EQ(m1.dataMember, 2u);
+    EXPECT_EQ(m1.parityMember, 0u);
+    // Stripe 1: parity rotates to member 1.
+    auto m2 = vol.mapBlock(2);
+    EXPECT_EQ(m2.dataMember, 0u);
+    EXPECT_EQ(m2.parityMember, 1u);
+    EXPECT_EQ(m2.memberLba, 1u);
+    // Capacity: two data shares of the smallest member.
+    ParityVolume small(*sim, "vol2", *engine, {0, 1, 3}, 1);
+    EXPECT_EQ(small.deviceBlocks(0), 2000u);
+}
+
+TEST_F(VolumeTest, ParityHealthyReadTouchesDataMemberOnly)
+{
+    ParityVolume vol(*sim, "vol", *engine, {0, 1, 2}, 1);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0;
+    bool done = false;
+    vol.submit(0, req, [&](const IoResult &) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(engine->requests.size(), 1u);
+    EXPECT_EQ(engine->requests[0].device, 1u);
+    EXPECT_EQ(vol.stats().degradedReads, 0u);
+}
+
+TEST_F(VolumeTest, ParityDegradedReadReconstructsFromSurvivors)
+{
+    ParityVolume vol(*sim, "vol", *engine, {0, 1, 2, 3}, 1);
+    vol.setMemberFailed(1, true);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0; // data member 1 in stripe 0
+    bool done = false;
+    vol.submit(0, req, [&](const IoResult &r) {
+        done = true;
+        EXPECT_TRUE(r.ok());
+    });
+    sim->run();
+    EXPECT_TRUE(done);
+    // Reconstruction read every survivor (members 0, 2, 3).
+    ASSERT_EQ(engine->requests.size(), 3u);
+    for (const auto &child : engine->requests)
+        EXPECT_NE(child.device, 1u);
+    EXPECT_EQ(vol.stats().degradedReads, 1u);
+}
+
+TEST_F(VolumeTest, ParityDegradedReadWaitsForSlowestSurvivor)
+{
+    engine->perDeviceLatency = {usec(20), usec(20), usec(300),
+                                usec(20)};
+    ParityVolume vol(*sim, "vol", *engine, {0, 1, 2, 3}, 1);
+    vol.setMemberFailed(1, true);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0;
+    Tick done_at = 0;
+    vol.submit(0, req,
+               [&](const IoResult &) { done_at = sim->now(); });
+    sim->run();
+    EXPECT_EQ(done_at, usec(300));
+}
+
+TEST_F(VolumeTest, ParityReadFailsOverOnMemberError)
+{
+    engine->failDevices = {false, true, false};
+    ParityVolume vol(*sim, "vol", *engine, {0, 1, 2}, 1);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0; // data member 1
+    IoResult seen;
+    seen.status = afa::nvme::Status::Aborted;
+    vol.submit(0, req, [&](const IoResult &r) { seen = r; });
+    sim->run();
+    // Direct read errored, then the reconstruction succeeded.
+    EXPECT_TRUE(seen.ok());
+    EXPECT_TRUE(vol.memberFailed(1));
+    EXPECT_EQ(vol.stats().degradedReads, 1u);
+}
+
+TEST_F(VolumeTest, ParityWritePaysSmallWritePenalty)
+{
+    ParityVolume vol(*sim, "vol", *engine, {0, 1, 2}, 1);
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0;
+    req.op = afa::nvme::Op::Write;
+    bool done = false;
+    vol.submit(0, req, [&](const IoResult &) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    // Read-modify-write: read old data + parity, write both back.
+    ASSERT_EQ(engine->requests.size(), 4u);
+    EXPECT_EQ(engine->requests[0].op, afa::nvme::Op::Read);
+    EXPECT_EQ(engine->requests[1].op, afa::nvme::Op::Read);
+    EXPECT_EQ(engine->requests[2].op, afa::nvme::Op::Write);
+    EXPECT_EQ(engine->requests[3].op, afa::nvme::Op::Write);
+}
+
+TEST_F(VolumeTest, ParityDegradedWriteUpdatesSurvivorDirectly)
+{
+    ParityVolume vol(*sim, "vol", *engine, {0, 1, 2}, 1);
+    vol.setMemberFailed(0, true); // parity of stripe 0
+    IoRequest req;
+    req.device = 0;
+    req.lba = 0; // data member 1, parity member 0
+    req.op = afa::nvme::Op::Write;
+    bool done = false;
+    vol.submit(0, req, [&](const IoResult &) { done = true; });
+    sim->run();
+    EXPECT_TRUE(done);
+    // Parity lost: the data member absorbs the write, no RMW.
+    ASSERT_EQ(engine->requests.size(), 1u);
+    EXPECT_EQ(engine->requests[0].device, 1u);
+    EXPECT_EQ(engine->requests[0].op, afa::nvme::Op::Write);
+}
+
+TEST_F(VolumeTest, ParityNeedsThreeMembers)
+{
+    EXPECT_THROW(ParityVolume(*sim, "vol", *engine, {0, 1}, 1),
+                 afa::sim::SimError);
 }
 
 TEST_F(VolumeTest, VolumesCompose)
@@ -259,7 +463,7 @@ TEST_F(VolumeTest, VolumesCompose)
     req.op = afa::nvme::Op::Write;
     req.bytes = 4096 * 2;
     bool done = false;
-    raid10.submit(0, req, [&](unsigned) { done = true; });
+    raid10.submit(0, req, [&](const IoResult &) { done = true; });
     sim->run();
     EXPECT_TRUE(done);
     EXPECT_EQ(engine->requests.size(), 4u); // 2 strips x 2 replicas

@@ -50,7 +50,8 @@ class MockEngine : public IoEngine
         sim.scheduleAfter(deviceLatency,
                           [this, fn = std::move(on_complete)] {
                               --outstanding;
-                              fn(handlerCpu);
+                              fn(IoResult{handlerCpu,
+                                          afa::nvme::Status::Success});
                           });
     }
 

@@ -115,7 +115,7 @@ class SettlingEngine : public IoEngine
             usec(20) + usec(30) / (1 + completed / 500);
         ++completed;
         sim.scheduleAfter(latency,
-                          [fn = std::move(fn)] { fn(0); });
+                          [fn = std::move(fn)] { fn(IoResult{}); });
     }
 
     std::uint64_t deviceBlocks(unsigned) const override

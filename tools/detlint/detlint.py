@@ -27,6 +27,11 @@ contract:
   mutable-static       mutable namespace-scope state: shared across
                        concurrently running simulations, so one run
                        can leak into another.
+  fault-rng            (fault sources only) constructing a fresh
+                       afa::sim::Rng in fault code: all fault
+                       randomness must flow from the FaultEngine's
+                       per-object stream ("afa.faults") or faulted
+                       replays stop being replayable.
 
 Escape hatch: a trailing or immediately preceding comment
 `// detlint:allow(<rule>[,<rule>...])` suppresses a diagnostic; every
@@ -48,6 +53,7 @@ import sys
 
 DEFAULT_PATHS = [
     "src/sim",
+    "src/fault",
     "src/nvme",
     "src/pcie",
     "src/host",
@@ -75,6 +81,9 @@ RULES = {
                       "concurrent simulations; move it into a "
                       "simulation-owned object or justify with "
                       "detlint:allow",
+    "fault-rng": "fault code must draw randomness from the "
+                 "FaultEngine's seeded per-object stream, not a "
+                 "freshly constructed Rng",
 }
 
 SIMPLE_PATTERNS = [
@@ -93,6 +102,12 @@ SIMPLE_PATTERNS = [
         r"|minstd_rand0?|ranlux(?:24|48)(?:_base)?)"
         r"\s+\w+\s*(?:;|\{\s*\}|\(\s*\))")),
 ]
+
+# Scoped to paths containing "fault": a fresh Rng there would be a
+# second fault randomness stream outside the engine's seeded fork.
+FAULT_RNG_RE = re.compile(
+    r"\bRng\s+\w+\s*[({=;]"
+    r"|\bnew\s+(?:afa\s*::\s*sim\s*::\s*)?Rng\b")
 
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*&?\s*"
@@ -342,6 +357,11 @@ def check_file(path, display_path):
         for m in regex.finditer(text):
             diags.append(Diagnostic(display_path,
                                     line_of(text, m.start()), rule))
+    if "fault" in display_path:
+        for m in FAULT_RNG_RE.finditer(text):
+            diags.append(Diagnostic(display_path,
+                                    line_of(text, m.start()),
+                                    "fault-rng"))
     check_unordered_iteration(display_path, text, diags)
     check_mutable_static(display_path, text, diags)
 

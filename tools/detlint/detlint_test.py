@@ -28,6 +28,7 @@ EXPECTATIONS = {
     "bad_unseeded_rng.cc": {"unseeded-rng": 4},
     "bad_unordered_iteration.cc": {"unordered-iteration": 3},
     "bad_mutable_static.cc": {"mutable-static": 4},
+    "bad_fault_rng.cc": {"fault-rng": 2},
     "allowed.cc": {},
     "clean.cc": {},
 }

@@ -1,0 +1,29 @@
+// Fixture: constructing a fresh Rng in fault code (the "fault" in
+// this filename puts it in scope) must trigger `fault-rng`.
+namespace afa::sim {
+class Rng
+{
+  public:
+    explicit Rng(unsigned long long seed);
+    double chance(double p);
+};
+} // namespace afa::sim
+
+double
+privateFaultStream()
+{
+    afa::sim::Rng local(99);
+    auto *heap = new afa::sim::Rng(7);
+    double v = local.chance(0.5) + heap->chance(0.5);
+    delete heap;
+    return v;
+}
+
+// Borrowing the engine's stream by reference is the sanctioned
+// pattern: this must NOT fire.
+double
+borrowedStream(afa::sim::Rng &rng)
+{
+    afa::sim::Rng *alias = &rng;
+    return alias->chance(0.25);
+}
