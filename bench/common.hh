@@ -18,6 +18,11 @@
  *   --jobs N          worker threads for the run plan (default 1;
  *                     0 = all hardware threads). Results are
  *                     bit-identical to a serial run.
+ *   --shards N        event-core shards inside every run (default 1).
+ *                     Partitions the SSD subtrees over N conservative
+ *                     shards; results are bit-identical to --shards 1,
+ *                     only faster. Composes with --jobs (threads used
+ *                     = jobs * shards).
  *   --seeds N         replicate every run with seeds S..S+N-1 and
  *                     aggregate the ladders across replicas
  *   --metrics-json F  also write the per-run metrics JSON to file F
@@ -88,6 +93,9 @@ parseOptions(int argc, char **argv)
     opts.csv = cfg.getBool("csv", false);
     opts.perDevice = cfg.getBool("per_device", false);
     p.captureSystemReport = cfg.getBool("report", false);
+    p.shards = static_cast<unsigned>(cfg.getUint("shards", 1));
+    if (p.shards == 0)
+        p.shards = 1;
     opts.jobs = static_cast<unsigned>(cfg.getUint("jobs", 1));
     opts.seeds = static_cast<unsigned>(cfg.getUint("seeds", 1));
     if (opts.seeds == 0)

@@ -3,6 +3,7 @@
 #include "obs/metrics.hh"
 #include "obs/span_log.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 
 namespace afa::core {
 
@@ -24,6 +25,35 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
     ft.ssds = params.ssds;
     fabricTopo = buildAfaTopology(*pcieFabric, ft);
 
+    // Shard partition: host + fabric + fault books on shard 0, the
+    // SSD subtrees block-partitioned across shards 1..K-1 in device
+    // order. The lookahead horizon is the fabric's minimum link
+    // propagation: no cross-shard interaction can happen sooner than
+    // one wire traversal. The horizon, the endpoint delivery bands,
+    // and the shipped completion sends are set up in serial runs too:
+    // the schedule is then the same deterministic function of the
+    // model at every shard count, which is what makes the figures
+    // bit-identical under --shards (see DESIGN.md "Sharded execution
+    // contract").
+    const unsigned shard_count = sim.shards();
+    ssdShards.assign(params.ssds, 0);
+    sim.setLookahead(pcieFabric->minPropagation());
+    for (unsigned d = 0; d < params.ssds; ++d)
+        pcieFabric->markEndpoint(fabricTopo.ssds[d]);
+    if (shard_count > 1) {
+        if (tracer)
+            afa::sim::fatal("AfaSystem: the debug tracer is not "
+                            "shard-safe; run with shards=1");
+        if (sim.lookahead() == 0)
+            afa::sim::fatal("AfaSystem: sharded run needs a positive "
+                            "minimum link propagation for lookahead");
+        for (unsigned d = 0; d < params.ssds; ++d) {
+            unsigned s = 1 + (d * (shard_count - 1)) / params.ssds;
+            ssdShards[d] = s;
+            pcieFabric->setNodeShard(fabricTopo.ssds[d], s);
+        }
+    }
+
     // Host side.
     sched = std::make_unique<afa::host::Scheduler>(
         sim, "sched", afa::host::CpuTopology(params.topology),
@@ -34,8 +64,11 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
         sim, "bg", *sched, params.background);
     driver = std::make_unique<Driver>(*this);
 
-    // SSDs.
+    // SSDs. Each device subtree is built (and later started) under
+    // its own ShardScope so every event it schedules lands on its
+    // shard's queue.
     for (unsigned d = 0; d < params.ssds; ++d) {
+        afa::sim::ShardScope shard_scope(sim, ssdShards[d]);
         nands.push_back(std::make_unique<afa::nand::NandArray>(
             sim, afa::sim::strfmt("nvme%u.nand", d), params.nand));
         ctrls.push_back(std::make_unique<afa::nvme::Controller>(
@@ -48,10 +81,29 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
         ctrl.setTransport([this, dev_node, host_node, d](
                               std::uint32_t bytes, std::uint64_t io,
                               afa::sim::EventFn fn) {
-            pcieFabric->sendSpanned(dev_node, host_node, bytes, io,
-                                    afa::obs::ssdTrack(d),
-                                    afa::obs::Stage::FabricComplete,
-                                    std::move(fn));
+            // Device -> fabric: "ship" the send to the fabric's shard
+            // one lookahead later, backdating the fabric entry to the
+            // device-side tick. Exact because the device's edge link
+            // carries no through-traffic or reservations, so nothing
+            // can have touched it in the interim, and link arithmetic
+            // already includes >= one propagation delay. Serial runs
+            // take the same path (lookahead = min propagation) with
+            // the same ordering band, so simultaneous completions
+            // from different devices walk the fabric in the same
+            // canonical ascending-endpoint order at any shard count.
+            const afa::sim::Tick entry = sim.now();
+            sim.scheduleOnShard(
+                0, entry + sim.lookahead(),
+                [this, entry, dev_node, host_node, bytes, io, d,
+                 fn = std::move(fn)]() mutable {
+                    pcieFabric->sendSpannedAt(
+                        entry, dev_node, host_node, bytes, io,
+                        afa::obs::ssdTrack(d),
+                        afa::obs::Stage::FabricComplete,
+                        std::move(fn));
+                },
+                /*internal=*/true,
+                /*order=*/2 + dev_node);
         });
         ctrl.setCompletionHandler(
             [this, d](const NvmeCompletion &completion) {
@@ -68,7 +120,7 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
             ctrl_ptrs.push_back(ctrl.get());
         faults = std::make_unique<afa::fault::FaultEngine>(
             sim, params.faults, std::move(ctrl_ptrs),
-            pcieFabric.get(), fabricTopo.ssds);
+            pcieFabric.get(), fabricTopo.ssds, ssdShards);
     }
 }
 
@@ -81,8 +133,10 @@ AfaSystem::start()
     sched->start();
     irqSub->start();
     bg->start();
-    for (auto &ctrl : ctrls)
-        ctrl->start();
+    for (unsigned d = 0; d < ctrls.size(); ++d) {
+        afa::sim::ShardScope shard_scope(sim, ssdShards[d]);
+        ctrls[d]->start();
+    }
     if (faults)
         faults->start();
 }

@@ -152,6 +152,14 @@ class AfaSystem
     /** The fault engine, or nullptr when no plan is loaded. */
     afa::fault::FaultEngine *faultEngine() { return faults.get(); }
 
+    /**
+     * Which simulator shard each SSD subtree executes on (indexed by
+     * device). All zeros in a serial run; under a sharded Simulator
+     * the devices are block-partitioned over shards 1..K-1 while the
+     * host, fabric and fault books stay on shard 0.
+     */
+    const std::vector<unsigned> &ssdShardMap() const { return ssdShards; }
+
     /** Outstanding driver commands, including retries waiting out
      *  their backoff (0 when quiescent). */
     std::size_t outstandingCommands() const;
@@ -215,6 +223,7 @@ class AfaSystem
     std::unique_ptr<afa::host::BackgroundLoad> bg;
     std::unique_ptr<Driver> driver;
     std::unique_ptr<afa::fault::FaultEngine> faults;
+    std::vector<unsigned> ssdShards;
     std::vector<std::function<void(afa::obs::MetricsRegistry &)>>
         extraMetricsSources;
     afa::obs::SpanLog *spanLogPtr = nullptr;

@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "core/system_report.hh"
@@ -38,7 +39,8 @@ ExperimentRunner::run(const ExperimentParams &params)
     for (std::size_t run_idx = 0; run_idx < runs.size(); ++run_idx) {
         const Run &placements = runs[run_idx];
 
-        Simulator sim(params.seed + run_idx * 7919);
+        Simulator sim(params.seed + run_idx * 7919,
+                      std::max(1u, params.shards));
 
         AfaSystemParams sys_params;
         sys_params.ssds = params.ssds;
@@ -62,6 +64,7 @@ ExperimentRunner::run(const ExperimentParams &params)
             afa::obs::TraceParams trace;
             trace.mask = params.traceMask;
             trace.capacity = params.traceCapacity;
+            trace.shards = std::max(1u, params.shards);
             spanLog = std::make_unique<afa::obs::SpanLog>(trace);
             system.setSpanLog(spanLog.get());
         }

@@ -36,6 +36,14 @@ struct ExperimentParams
     unsigned ssds = 64;
     std::uint64_t seed = 1;
 
+    /**
+     * Simulator shards for the run (1 = classic serial execution).
+     * The partition is per-SSD-subtree with the host and fabric on
+     * shard 0; results are bit-identical at any shard count — shards
+     * only change how fast the answer arrives.
+     */
+    unsigned shards = 1;
+
     /** Per-thread measurement duration (the paper used 120 s). */
     Tick runtime = afa::sim::sec(4);
 

@@ -18,8 +18,13 @@
  * a step, and growth stops at capacity.
  *
  * Thread model: one SpanLog belongs to one Simulator (one worker
- * thread of the parallel experiment runner); it is intentionally
- * unsynchronised, like every other per-run simulation object.
+ * thread of the parallel experiment runner). Under a sharded
+ * Simulator the log keeps one independent lane (ring + accumulators)
+ * per shard — record() indexes the calling shard's lane, so shard
+ * worker threads never touch shared state. Reading APIs (snapshot,
+ * attribution, counters) merge the lanes deterministically and must
+ * only be called outside the parallel phase, i.e. after run()
+ * returns, like every other end-of-run read.
  */
 
 #ifndef AFA_OBS_SPAN_LOG_HH
@@ -40,8 +45,12 @@ struct TraceParams
     /** Bitmask of enabled Categories (0 disables every site). */
     std::uint32_t mask = 0;
 
-    /** Ring capacity in records (32 bytes each). */
+    /** Total ring capacity in records (32 bytes each), split evenly
+     *  across the shard lanes. */
     std::size_t capacity = std::size_t(1) << 20;
+
+    /** Shard lanes (must match the Simulator's shard count). */
+    unsigned shards = 1;
 };
 
 /** The span collector. */
@@ -65,42 +74,59 @@ class SpanLog
     std::uint32_t mask() const { return mask_; }
 
     /**
-     * Record one span. No-ops when the stage's category is disabled,
-     * so callers may skip the wants() pre-check on cold paths.
+     * Record one span into the calling shard's lane. No-ops when the
+     * stage's category is disabled, so callers may skip the wants()
+     * pre-check on cold paths.
      */
     void record(Stage stage, std::uint64_t io, Tick begin, Tick end,
                 std::uint16_t track, std::uint8_t flags = 0,
                 std::uint32_t arg = 0);
 
-    /** Spans recorded (including any the ring later overwrote). */
-    std::uint64_t recorded() const { return numRecorded; }
+    /** Spans recorded (including any the ring later overwrote),
+     *  summed over lanes. */
+    std::uint64_t recorded() const;
 
-    /** Records overwritten after the ring reached capacity. */
-    std::uint64_t dropped() const { return numDropped; }
+    /** Records overwritten after a lane's ring reached capacity,
+     *  summed over lanes. */
+    std::uint64_t dropped() const;
 
-    /** Records currently retained in the ring. */
-    std::size_t retained() const { return ring.size(); }
+    /** Records currently retained across the lane rings. */
+    std::size_t retained() const;
 
-    /** Ring capacity. */
-    std::size_t capacity() const { return cap; }
+    /** Total ring capacity (sum of the lane caps). */
+    std::size_t capacity() const;
 
-    /** Retained records, oldest first. */
+    /**
+     * Retained records. With one lane: oldest first, exactly the
+     * recording order. With several: merged across lanes and sorted
+     * by (begin, end, track, stage, io) — a deterministic order that
+     * does not depend on shard interleaving.
+     */
     std::vector<SpanRecord> snapshot() const;
 
-    /** Exact per-stage totals (independent of ring drops). */
-    const Attribution &attribution() const { return accum; }
+    /** Exact per-stage totals (independent of ring drops), merged
+     *  across lanes. Returned by value: totals are commutative, so
+     *  the merge is shard-count-invariant. */
+    Attribution attribution() const;
 
     /** Drop retained records and reset counters and totals. */
     void clear();
 
   private:
+    /** One shard's private ring + accumulators (cache-line padded so
+     *  concurrent lanes never false-share). */
+    struct alignas(64) Lane
+    {
+        std::size_t cap = 0;   ///< growth ceiling for this lane
+        std::size_t head = 0;  ///< next overwrite slot once at capacity
+        std::vector<SpanRecord> ring;
+        std::uint64_t numRecorded = 0;
+        std::uint64_t numDropped = 0;
+        Attribution accum;
+    };
+
     std::uint32_t mask_;
-    std::size_t cap;       ///< growth ceiling
-    std::size_t head = 0;  ///< next overwrite slot once at capacity
-    std::vector<SpanRecord> ring;
-    std::uint64_t numRecorded = 0;
-    std::uint64_t numDropped = 0;
-    Attribution accum;
+    std::vector<Lane> lanes;
 };
 
 } // namespace afa::obs

@@ -1,10 +1,13 @@
 #include "pcie/fabric.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
 #include "obs/span_log.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
+#include "sim/simulator.hh"
 
 namespace afa::pcie {
 
@@ -132,10 +135,23 @@ void
 Fabric::setLinkFaultRate(std::size_t link_idx, double rate)
 {
     double &cur = linkFaultRate[link_idx];
-    if (cur == 0.0 && rate > 0.0)
+    if (cur == 0.0 && rate > 0.0) {
         ++faultedLinks;
-    else if (cur > 0.0 && rate == 0.0)
+        // Each faulted link draws its replay coin flips from its own
+        // stream, forked by link index from the FaultEngine's
+        // plan-seeded stream. Per-link streams (rather than one
+        // shared stream) make the flips a function of each link's own
+        // packet order — which is model-deterministic — instead of
+        // the global interleaving of hop events, which shifts with
+        // --shards. Re-arming a link restarts its stream; that too is
+        // a pure function of the plan.
+        if (linkFaultStream.size() < links.size())
+            linkFaultStream.resize(links.size());
+        linkFaultStream[link_idx] =
+            faultRng->fork(static_cast<std::uint64_t>(link_idx));
+    } else if (cur > 0.0 && rate == 0.0) {
         --faultedLinks;
+    }
     cur = rate;
 }
 
@@ -195,9 +211,26 @@ Fabric::nodeName(NodeId id) const
     return nodeInfo[id].name;
 }
 
+/**
+ * Schedule a fabric-internal transport event (hop continuations,
+ * mid-path flight completions). These are plumbing, not model events:
+ * how many of them a packet needs depends on which execution strategy
+ * (fast path, mid-path fallback, full chain) it happened to take, and
+ * that choice is not invariant across --shards. Marking them internal
+ * keeps executedEvents() — and the `events=` line of every figure —
+ * at exactly one counted event per delivered packet regardless of the
+ * path taken, so event counts are bit-identical at any shard count.
+ */
+afa::sim::EventHandle
+Fabric::atInternal(Tick when, EventFn fn)
+{
+    return sim().scheduleOnShard(afa::sim::currentShard(), when,
+                                 std::move(fn), /*internal=*/true);
+}
+
 void
 Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
-            EventFn on_delivered)
+            EventFn on_delivered, DeliverCtx ctx, Tick enter)
 {
     const std::size_t base = pathIndex(at_node, dst);
     if (pathOffset[base] == pathOffset[base + 1])
@@ -207,8 +240,8 @@ Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
            "precompiled link index out of range");
     assert(ph.to == nextHopFlat[base] &&
            "precompiled route disagrees with next-hop table");
+    assert(enter <= now() && "hop entry tick in the future");
     Link &link = links[ph.link];
-    Tick enter = now();
     // Arrival-order FIFO: anything reserved on this link for a later
     // start must yield to this packet (the reference model serves
     // links strictly in arrival order; a pending reservation's start
@@ -228,7 +261,8 @@ Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
         double rate = linkFaultRate[ph.link];
         if (rate > 0.0) {
             unsigned replays = 0;
-            while (replays < 16 && faultRng->chance(rate)) {
+            afa::sim::Rng &stream = linkFaultStream[ph.link];
+            while (replays < 16 && stream.chance(rate)) {
                 arrive = link.transfer(arrive, bytes);
                 ++replays;
             }
@@ -237,25 +271,70 @@ Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
     }
     NodeId next = ph.to;
     if (next == dst) {
-        at(arrive, std::move(on_delivered));
+        scheduleDelivery(arrive, dst, std::move(on_delivered), ctx);
         return;
     }
     Tick forwarded = arrive + ph.forwardAfter;
-    at(forwarded,
-       [this, next, dst, bytes, cb = std::move(on_delivered)]() mutable {
-           hop(next, dst, bytes, std::move(cb));
-       });
+    atInternal(forwarded,
+               [this, next, dst, bytes, ctx,
+                cb = std::move(on_delivered)]() mutable {
+                   hop(next, dst, bytes, std::move(cb), ctx, now());
+               });
+}
+
+/**
+ * Schedule a packet's final delivery at @p arrive.
+ *
+ * Endpoint deliveries (deliveryOrder() != 0) are posted — in serial
+ * runs too — through scheduleOnShard() with the node's canonical
+ * ordering band, so their same-tick position is a function of (tick,
+ * destination, poster order) alone and replay is bit-identical at any
+ * shard count; the chain/span bookkeeping stays on the fabric's shard
+ * as an uncounted companion event. Host-bound deliveries are always
+ * fabric-local and keep plain FIFO order. Exactly one counted event
+ * exists per delivery either way.
+ */
+void
+Fabric::scheduleDelivery(Tick arrive, NodeId dst, EventFn cb,
+                         const DeliverCtx &ctx)
+{
+    const std::uint32_t ord = deliveryOrder(dst);
+    if (ord == 0) {
+        assert(nodeShardOf(dst) == afa::sim::currentShard() &&
+               "unmarked node delivered across shards");
+        if (!ctx.chained) {
+            at(arrive, std::move(cb));
+        } else {
+            at(arrive, [this, ctx, f = std::move(cb)]() mutable {
+                finishChained(ctx);
+                f();
+            });
+        }
+        return;
+    }
+    sim().scheduleOnShard(nodeShardOf(dst), arrive, std::move(cb),
+                          /*internal=*/false, ord);
+    if (ctx.chained)
+        atInternal(arrive, [this, ctx] { finishChained(ctx); });
 }
 
 void
 Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
              EventFn on_delivered)
 {
+    sendAt(now(), src, dst, bytes, std::move(on_delivered));
+}
+
+void
+Fabric::sendAt(Tick enter, NodeId src, NodeId dst, std::uint32_t bytes,
+               EventFn on_delivered)
+{
     if (!isFinalized)
         afa::sim::fatal("fabric %s: send before finalize()",
                         name().c_str());
     checkNode(src);
     checkNode(dst);
+    assert(enter <= now() && "send entry tick in the future");
     ++fabricStats.packets;
     fabricStats.bytes += bytes;
     if (src == dst) {
@@ -286,7 +365,7 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
         // hop starts in the future; each is recorded in linkResv so
         // that a packet reaching the link earlier can revoke it
         // (displaceEarlier()).
-        Tick when = now();
+        Tick when = enter;
         std::uint32_t rec_idx = kNoFlight;
         for (std::uint32_t i = first; /**/; ++i) {
             if (i == last) {
@@ -300,15 +379,39 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
                 if (rec_idx == kNoFlight) {
                     // Single-hop route: no future reservation exists,
                     // so nothing could ever displace this delivery.
-                    at(when, std::move(on_delivered));
+                    scheduleDelivery(when, dst, std::move(on_delivered),
+                                     DeliverCtx{});
                 } else {
                     FlightRecord &rec = flights[rec_idx];
-                    rec.cb = std::move(on_delivered);
                     rec.fullWalk = true;
                     rec.hopsWalked = last - first;
-                    rec.ev = at(when, [this, rec_idx] {
-                        completeFlight(rec_idx);
-                    });
+                    const std::uint32_t ord = deliveryOrder(dst);
+                    if (ord == 0) {
+                        // Host-bound: the counted delivery event runs
+                        // the callback after dropping the walked
+                        // reservations.
+                        rec.cb = std::move(on_delivered);
+                        rec.ev = at(when, [this, rec_idx] {
+                            completeFlight(rec_idx);
+                        });
+                    } else {
+                        // Endpoint-bound: post the delivery (counted,
+                        // canonical band — identical order at any
+                        // shard count) and keep an uncounted
+                        // bookkeeping event for the reservations. A
+                        // displacement reclaims the post — legal
+                        // because the delivery is always at least one
+                        // lookahead window away from any displacing
+                        // entrant (and trivially reclaimable when it
+                        // is a same-shard post).
+                        rec.xev = sim().scheduleOnShard(
+                            nodeShardOf(dst), when,
+                            std::move(on_delivered),
+                            /*internal=*/false, ord);
+                        rec.ev = atInternal(when, [this, rec_idx] {
+                            completeFlight(rec_idx);
+                        });
+                    }
                 }
                 return;
             }
@@ -331,19 +434,23 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
                     // send time, so it is not displaceable): a plain
                     // chain continuation suffices.
                     NodeId at_node = pathHops[i - 1].to;
-                    at(when,
-                       [this, at_node, dst, bytes,
-                        cb = chainWrap(std::move(on_delivered))]() mutable {
-                           hop(at_node, dst, bytes, std::move(cb));
-                       });
+                    atInternal(
+                        when,
+                        [this, at_node, dst, bytes, ctx = beginChain(),
+                         cb = std::move(on_delivered)]() mutable {
+                            hop(at_node, dst, bytes, std::move(cb), ctx,
+                                now());
+                        });
                 } else {
                     // The walked prefix holds future reservations;
                     // keep it revocable until the continuation fires.
                     FlightRecord &rec = flights[rec_idx];
-                    rec.cb = chainWrap(std::move(on_delivered));
+                    rec.cb = std::move(on_delivered);
+                    rec.ctx = beginChain();
                     rec.fullWalk = false;
                     rec.hopsWalked = i - first;
-                    rec.ev = at(when, [this, rec_idx] {
+                    // Mid-path continuation, not a delivery: internal.
+                    rec.ev = atInternal(when, [this, rec_idx] {
                         completeFlight(rec_idx);
                     });
                 }
@@ -359,7 +466,7 @@ Fabric::send(NodeId src, NodeId dst, std::uint32_t bytes,
             when = link.occupy(when, bytes) + ph.forwardAfter;
         }
     }
-    hop(src, dst, bytes, chainWrap(std::move(on_delivered)));
+    hop(src, dst, bytes, std::move(on_delivered), beginChain(), enter);
 }
 
 std::uint32_t
@@ -389,6 +496,8 @@ Fabric::freeFlight(std::uint32_t idx)
     FlightRecord &rec = flights[idx];
     rec.cb = nullptr;
     rec.ev = afa::sim::EventHandle{};
+    rec.xev = afa::sim::EventHandle{};
+    rec.ctx = DeliverCtx{};
     rec.active = false;
     freeFlights.push_back(idx);
 }
@@ -407,7 +516,9 @@ Fabric::completeFlight(std::uint32_t idx)
     for (std::uint32_t h = 1; h < rec.hopsWalked; ++h)
         pruneExpired(pathHops[rec.pathFirst + h].link);
     EventFn cb = std::move(rec.cb);
+    DeliverCtx ctx = rec.ctx;
     bool full = rec.fullWalk;
+    bool shipped = rec.xev.valid();
     NodeId cont = full ? kInvalidNode
         : pathHops[rec.pathFirst + rec.hopsWalked - 1].to;
     NodeId dst = rec.dst;
@@ -415,10 +526,15 @@ Fabric::completeFlight(std::uint32_t idx)
     // Free before invoking: the callback may re-enter send() and
     // allocate flight records itself.
     freeFlight(idx);
-    if (full)
-        cb();
-    else
-        hop(cont, dst, bytes, std::move(cb));
+    if (full) {
+        // When the delivery callback was shipped to another shard
+        // (rec.xev) it fires there on its own; this event is the
+        // serial-order bookkeeping placeholder.
+        if (!shipped)
+            cb();
+    } else {
+        hop(cont, dst, bytes, std::move(cb), ctx, now());
+    }
 }
 
 /**
@@ -491,12 +607,6 @@ Fabric::cutReservations(std::size_t link_idx, std::size_t pos,
 void
 Fabric::displaceEarlier(std::size_t link_idx, Tick enter)
 {
-    // A displacement can run inside another packet's sendSpanned()
-    // (hop() is called synchronously on the full-fallback path). The
-    // chainWrap() below re-wraps *displaced* packets' callbacks; they
-    // must not inherit the displacing sender's span identity.
-    std::uint64_t saved_io = curIo;
-    curIo = 0;
     std::vector<std::uint32_t> work;
     std::vector<std::uint32_t> all;
     auto &resv = linkResv[link_idx];
@@ -530,10 +640,22 @@ Fabric::displaceEarlier(std::size_t link_idx, Tick enter)
         (void)was_pending;
         if (rec.fullWalk) {
             // No longer a single-event delivery: recount it as a
-            // fallback packet (chainWrap also holds the fast-path
-            // gate closed until it is delivered).
+            // fallback packet holding the fast-path gate closed until
+            // it is delivered. A displaced packet never inherits the
+            // displacing sender's span identity (ctx.io stays 0). If
+            // the delivery callback was already shipped to another
+            // shard, take it back — the displacing entrant is at
+            // least one lookahead window before the shipped tick, so
+            // the post cannot have fired.
             --fabricStats.fastPathPackets;
-            rec.cb = chainWrap(std::move(rec.cb));
+            if (rec.xev.valid()) {
+                rec.cb = sim().reclaim(rec.xev);
+                rec.xev = afa::sim::EventHandle{};
+            }
+            ++fabricStats.fallbackPackets;
+            ++chainInFlight;
+            rec.ctx = DeliverCtx{};
+            rec.ctx.chained = true;
             rec.fullWalk = false;
         }
         // The record now represents only the committed prefix, with
@@ -541,37 +663,43 @@ Fabric::displaceEarlier(std::size_t link_idx, Tick enter)
         // stays revocable at hops below the displacement point.
         rec.hopsWalked = rec.displacedHop;
         rec.displaced = false;
-        rec.ev = at(rec.displacedStart,
-                    [this, ri] { completeFlight(ri); });
+        // The displaced record is now a mid-path continuation (its
+        // counted delivery event will be scheduled at the end of the
+        // chain): internal.
+        rec.ev = atInternal(rec.displacedStart,
+                            [this, ri] { completeFlight(ri); });
     }
-    curIo = saved_io;
 }
 
 /**
- * Mark a packet as traversing in per-hop chain mode and arrange for
- * the mark to drop when its delivery callback fires.
+ * Mark a packet as traversing in per-hop chain mode; the returned
+ * context rides to the delivery point, where finishChained() drops
+ * the mark (and commits the fallback span, when one is open).
  */
-EventFn
-Fabric::chainWrap(EventFn on_delivered)
+Fabric::DeliverCtx
+Fabric::beginChain()
 {
     ++fabricStats.fallbackPackets;
     ++chainInFlight;
-    if (curIo) {
+    DeliverCtx ctx;
+    ctx.chained = true;
+    ctx.io = curIo;
+    ctx.begin = curBegin;
+    ctx.track = curTrack;
+    ctx.stage = curStage;
+    return ctx;
+}
+
+void
+Fabric::finishChained(const DeliverCtx &ctx)
+{
+    --chainInFlight;
+    if (ctx.io) {
         // Fallback spans get their real delivery tick: the record is
-        // committed when the wrapped callback fires.
-        return EventFn([this, cb = std::move(on_delivered), io = curIo,
-                        track = curTrack, stage = curStage,
-                        begin = curBegin]() mutable {
-            --chainInFlight;
-            spanLog->record(stage, io, begin, now(), track,
-                            afa::obs::kSpanFlagFallback);
-            cb();
-        });
+        // committed when the packet is delivered.
+        spanLog->record(ctx.stage, ctx.io, ctx.begin, now(), ctx.track,
+                        afa::obs::kSpanFlagFallback);
     }
-    return EventFn([this, cb = std::move(on_delivered)]() mutable {
-        --chainInFlight;
-        cb();
-    });
 }
 
 void
@@ -579,17 +707,57 @@ Fabric::sendSpanned(NodeId src, NodeId dst, std::uint32_t bytes,
                     std::uint64_t io, std::uint16_t track,
                     afa::obs::Stage stage, EventFn on_delivered)
 {
+    sendSpannedAt(now(), src, dst, bytes, io, track, stage,
+                  std::move(on_delivered));
+}
+
+void
+Fabric::sendSpannedAt(Tick enter, NodeId src, NodeId dst,
+                      std::uint32_t bytes, std::uint64_t io,
+                      std::uint16_t track, afa::obs::Stage stage,
+                      EventFn on_delivered)
+{
     if (spanLog && io != 0 &&
         spanLog->wants(afa::obs::categoryOf(stage))) {
         curIo = io;
         curTrack = track;
         curStage = stage;
-        curBegin = now();
-        send(src, dst, bytes, std::move(on_delivered));
+        curBegin = enter;
+        sendAt(enter, src, dst, bytes, std::move(on_delivered));
         curIo = 0;
         return;
     }
-    send(src, dst, bytes, std::move(on_delivered));
+    sendAt(enter, src, dst, bytes, std::move(on_delivered));
+}
+
+void
+Fabric::setNodeShard(NodeId node, unsigned shard)
+{
+    checkNode(node);
+    sim().checkShardId(shard);
+    if (nodeShardMap.size() < nodeInfo.size())
+        nodeShardMap.resize(nodeInfo.size(), 0);
+    nodeShardMap[node] = shard;
+}
+
+void
+Fabric::markEndpoint(NodeId node)
+{
+    checkNode(node);
+    if (nodeOrder.size() < nodeInfo.size())
+        nodeOrder.resize(nodeInfo.size(), 0);
+    nodeOrder[node] = 2 + node;
+}
+
+Tick
+Fabric::minPropagation() const
+{
+    Tick min_prop = 0;
+    for (const Link &link : links) {
+        const Tick p = link.params().propagation;
+        min_prop = min_prop == 0 ? p : std::min(min_prop, p);
+    }
+    return min_prop;
 }
 
 Tick

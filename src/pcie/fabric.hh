@@ -52,7 +52,12 @@ struct FabricStats
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
     Tick totalQueueDelay = 0;
-    /** Packets delivered by the single-event uncontended fast path. */
+    /** Packets delivered by the single-event uncontended fast path.
+     *  Invariant across --shards: every walk executes at the same
+     *  tick in the same canonical order at any shard count (endpoint
+     *  sends are shipped one lookahead after their backdated entry in
+     *  serial runs too), so the fast/fallback decision sees the same
+     *  fabric state everywhere. */
     std::uint64_t fastPathPackets = 0;
     /** Packets that took the per-hop event model (contention hit, or
      *  the fast path disabled). Self-sends count for neither. */
@@ -120,6 +125,65 @@ class Fabric : public afa::sim::SimObject
                      afa::obs::Stage stage,
                      afa::sim::EventFn on_delivered);
 
+    /**
+     * sendSpanned() with an explicit entry tick @p enter <= now().
+     *
+     * Sharded execution ships a device's outbound send to the
+     * fabric's shard with one lookahead window of delay; this entry
+     * point lets the shipped send compute link entry, queueing, and
+     * arrival from the tick the device issued it, so every horizon
+     * mutation and delivery tick is bit-identical to the serial
+     * schedule. Safe because (a) endpoint edge links carry no
+     * through-traffic and no reservations ever cover a route's first
+     * hop, so nothing can have touched the link in (enter, now()],
+     * and (b) every computed event time is >= enter + propagation >=
+     * now(), so nothing schedules into the past.
+     */
+    void sendSpannedAt(Tick enter, NodeId src, NodeId dst,
+                       std::uint32_t bytes, std::uint64_t io,
+                       std::uint16_t track, afa::obs::Stage stage,
+                       afa::sim::EventFn on_delivered);
+
+    /**
+     * Declare that @p node's SimObjects execute on @p shard (default
+     * 0, the fabric's own shard). Final delivery callbacks for a
+     * remote node are posted through the simulator's inter-shard
+     * mailbox; all fabric state stays on the fabric's shard.
+     */
+    void setNodeShard(NodeId node, unsigned shard);
+
+    /** Shard a node's delivery callbacks execute on. */
+    unsigned
+    nodeShardOf(NodeId node) const
+    {
+        return node < nodeShardMap.size() ? nodeShardMap[node] : 0;
+    }
+
+    /**
+     * Declare @p node an endpoint whose deliveries (and outbound
+     * ships) use the canonical same-tick ordering band 2 + node (see
+     * Simulator::scheduleOnShard()). The system model marks every SSD
+     * endpoint — in serial runs too, so the same-tick order of
+     * deliveries is the same deterministic function of the model at
+     * any shard count. The host stays unmarked: host-bound deliveries
+     * are always fabric-local and keep plain FIFO order.
+     */
+    void markEndpoint(NodeId node);
+
+    /** The delivery ordering band of @p node (0 = plain FIFO). */
+    std::uint32_t
+    deliveryOrder(NodeId node) const
+    {
+        return node < nodeOrder.size() ? nodeOrder[node] : 0;
+    }
+
+    /**
+     * Minimum propagation delay over all links (0 with no links) —
+     * the conservative lookahead horizon for sharded execution: no
+     * cross-fabric effect travels faster than one link flight.
+     */
+    Tick minPropagation() const;
+
     /** Attach (or detach, with nullptr) the span log. */
     void setSpanLog(afa::obs::SpanLog *log) { spanLog = log; }
 
@@ -160,10 +224,15 @@ class Fabric : public afa::sim::SimObject
     bool fastPath() const { return fastPathEnabled; }
 
     /**
-     * The random stream link-fault replay coin flips draw from. Must
-     * be set before any endpoint fault activates; the FaultEngine
-     * passes its own plan-seeded stream so faulted runs replay
-     * identically at any --jobs (detlint: fault-rng).
+     * The random stream link-fault replay coin flips derive from.
+     * Must be set before any endpoint fault activates; the
+     * FaultEngine passes its own plan-seeded stream so faulted runs
+     * replay identically at any --jobs (detlint: fault-rng). Each
+     * faulted link forks a private child stream by link index when it
+     * is armed, so the flip a packet sees depends only on its link
+     * and its position in that link's (model-deterministic) packet
+     * order — never on how hop events interleave across links, which
+     * shifts with --shards.
      */
     void setFaultRng(afa::sim::Rng *rng) { faultRng = rng; }
 
@@ -228,6 +297,25 @@ class Fabric : public afa::sim::SimObject
     };
 
     /**
+     * Context a packet carries from send() to its delivery point:
+     * whether it holds the fast-path gate (per-hop chain mode) and
+     * the span identity to commit at delivery. Replaces the old
+     * closure-wrapping (chainWrap): under sharded execution the
+     * delivery callback may cross to another shard while this
+     * bookkeeping must run on the fabric's shard, so it travels as
+     * plain data instead of inside the callback.
+     */
+    struct DeliverCtx
+    {
+        bool chained = false;   ///< holds the fast-path gate until
+                                ///< finishChained() at delivery
+        std::uint64_t io = 0;   ///< span identity (0 = no span)
+        Tick begin = 0;
+        std::uint16_t track = 0;
+        afa::obs::Stage stage = afa::obs::Stage::FabricSubmit;
+    };
+
+    /**
      * An in-flight send whose future link occupancy is written into
      * the busy horizons: a full fast-path walk awaiting its single
      * delivery event, or the walked prefix of a mid-path fallback
@@ -241,8 +329,12 @@ class Fabric : public afa::sim::SimObject
     struct FlightRecord
     {
         afa::sim::EventFn cb;       ///< the caller's on_delivered
-                                    ///< (chainWrap()ed for fallbacks)
+                                    ///< (empty when shipped via xev)
         afa::sim::EventHandle ev;   ///< delivery or continuation event
+        afa::sim::EventHandle xev;  ///< cross-shard delivery post for
+                                    ///< a full walk to a remote node;
+                                    ///< reclaimed on displacement
+        DeliverCtx ctx;             ///< chain/span context
         std::uint32_t pathFirst = 0;///< base index into pathHops
         std::uint32_t hopsWalked = 0;///< links occupied; reservations
                                     ///< cover hops 1..hopsWalked-1
@@ -293,7 +385,14 @@ class Fabric : public afa::sim::SimObject
     // finalize()). faultedLinks counts entries with rate > 0 so the
     // healthy-path cost of the fault hooks is a single integer test.
     std::vector<double> linkFaultRate;
+    // Per-link replay streams, forked from the FaultEngine's stream
+    // by link index when a fault is armed (see setLinkFaultRate()).
+    std::vector<afa::sim::Rng> linkFaultStream;
     unsigned faultedLinks = 0;
+    // Shard each node's delivery callbacks run on (empty = all 0).
+    std::vector<unsigned> nodeShardMap;
+    // Delivery ordering band per node (empty/0 = plain FIFO order).
+    std::vector<std::uint32_t> nodeOrder;
     afa::sim::Rng *faultRng = nullptr;
     FabricStats fabricStats;
     afa::obs::SpanLog *spanLog = nullptr;
@@ -316,11 +415,18 @@ class Fabric : public afa::sim::SimObject
         return static_cast<std::size_t>(src) * nodeInfo.size() + dst;
     }
 
+    void sendAt(Tick enter, NodeId src, NodeId dst,
+                std::uint32_t bytes, afa::sim::EventFn on_delivered);
+    afa::sim::EventHandle atInternal(Tick when, afa::sim::EventFn fn);
     void hop(NodeId at, NodeId dst, std::uint32_t bytes,
-             afa::sim::EventFn on_delivered);
+             afa::sim::EventFn on_delivered, DeliverCtx ctx,
+             Tick enter);
     void setLinkFaultRate(std::size_t link_idx, double rate);
     bool routeFaulted(std::uint32_t first, std::uint32_t last) const;
-    afa::sim::EventFn chainWrap(afa::sim::EventFn on_delivered);
+    DeliverCtx beginChain();
+    void finishChained(const DeliverCtx &ctx);
+    void scheduleDelivery(Tick arrive, NodeId dst,
+                          afa::sim::EventFn cb, const DeliverCtx &ctx);
     std::uint32_t allocFlight(std::uint32_t path_first, NodeId dst,
                               std::uint32_t bytes);
     void freeFlight(std::uint32_t idx);

@@ -26,7 +26,7 @@ EventQueue::growSlab()
 }
 
 EventHandle
-EventQueue::scheduleSlot(Tick when)
+EventQueue::scheduleSlot(Tick when, std::uint32_t prio)
 {
     if (nextSeq >= kMaxSeq)
         panicSeqExhausted();
@@ -35,7 +35,7 @@ EventQueue::scheduleSlot(Tick when)
     rec.scheduled = true;
     std::uint64_t key = (nextSeq++ << kSlotBits) | slot;
     slotKey[slot] = key;
-    heap.push_back(HeapEntry{when, key});
+    heap.push_back(HeapEntry{when, key, prio});
     std::push_heap(heap.begin(), heap.end(), Later{});
     ++numPending;
     return EventHandle{slot, rec.gen};
@@ -72,6 +72,24 @@ EventQueue::cancel(EventHandle handle)
         return false;
     // Lazy deletion: invalidate the slot key so the heap entry is
     // stale; the slot is recycled when the entry surfaces.
+    rec.scheduled = false;
+    rec.fn = nullptr;
+    ++rec.gen;
+    slotKey[handle.slot] = kStaleKey;
+    freeSlots.push_back(handle.slot);
+    --numPending;
+    return true;
+}
+
+bool
+EventQueue::reclaim(EventHandle handle, EventFn &fn_out)
+{
+    if (!handle.valid() || handle.slot >= slab.size())
+        return false;
+    Record &rec = slab[handle.slot];
+    if (!rec.scheduled || rec.gen != handle.gen)
+        return false;
+    fn_out = std::move(rec.fn);
     rec.scheduled = false;
     rec.fn = nullptr;
     ++rec.gen;

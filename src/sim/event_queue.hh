@@ -2,12 +2,18 @@
  * @file
  * The discrete-event queue at the heart of the simulator.
  *
- * Events are closures scheduled at an absolute tick. Events scheduled
- * for the same tick execute in scheduling order (FIFO-stable), which
- * keeps simulations deterministic. Scheduling returns an EventHandle
- * that can be used to cancel the event before it fires; handles are
- * generation-checked so a stale handle can never cancel a recycled
- * slot.
+ * Events are closures scheduled at an absolute tick. Every event
+ * carries an ordering band (@c prio): same-tick events execute in
+ * ascending band order, FIFO-stable within a band. Band 0 is the
+ * default -- plain scheduling order, the classic serial-DES rule.
+ * Non-zero bands exist for "post-class" events whose same-tick order
+ * must be a deterministic function of the model alone (not of which
+ * execution path happened to insert them first); the sharded
+ * simulator relies on them to keep replay bit-identical at any shard
+ * count (see Simulator::scheduleOnShard()). Scheduling returns an
+ * EventHandle that can be used to cancel the event before it fires;
+ * handles are generation-checked so a stale handle can never cancel a
+ * recycled slot.
  */
 
 #ifndef AFA_SIM_EVENT_QUEUE_HH
@@ -53,11 +59,14 @@ class EventQueue
      *
      * Accepts any `void()` callable; the closure is constructed
      * directly into its queue slot (no intermediate EventFn moves).
+     * @param prio same-tick ordering band; 0 (the default) means
+     *        plain FIFO scheduling order, higher bands run after
+     *        every lower band of the same tick, FIFO within a band.
      * @return handle usable with cancel().
      */
     template <typename F>
     EventHandle
-    schedule(Tick when, F &&fn)
+    schedule(Tick when, F &&fn, std::uint32_t prio = 0)
     {
         if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
             if (!fn)
@@ -66,7 +75,7 @@ class EventQueue
         // The slot/heap bookkeeping is shared out-of-line code; only
         // the closure construction is stamped out per callable, so the
         // callback lands in its slot without any intermediate moves.
-        EventHandle handle = scheduleSlot(when);
+        EventHandle handle = scheduleSlot(when, prio);
         slab[handle.slot].fn.assign(std::forward<F>(fn));
         return handle;
     }
@@ -78,6 +87,15 @@ class EventQueue
      *         or the handle is null.
      */
     bool cancel(EventHandle handle);
+
+    /**
+     * Cancel a pending event and take back its callback (for
+     * re-routing, e.g. a displaced fast-path delivery).
+     * @retval true the event was pending; @p fn_out holds its
+     *         callback and the event will not fire.
+     * @retval false the handle was stale; @p fn_out untouched.
+     */
+    bool reclaim(EventHandle handle, EventFn &fn_out);
 
     /** True if the given handle still refers to a pending event. */
     bool pending(EventHandle handle) const;
@@ -142,24 +160,27 @@ class EventQueue
     static constexpr std::uint64_t kStaleKey = ~0ull;
 
     /**
-     * Compact 16-byte heap entry: the key packs (seq << 24 | slot),
-     * so comparing keys compares seq (FIFO order; slots never tie
-     * because seq is unique). Liveness is checked against the dense
-     * slotKey array instead of the fat Record, keeping skims and pops
-     * inside two small arrays.
+     * Compact heap entry: the key packs (seq << 24 | slot), so
+     * comparing keys compares seq (FIFO order; slots never tie
+     * because seq is unique); prio is the same-tick ordering band.
+     * Liveness is checked against the dense slotKey array instead of
+     * the fat Record, keeping skims and pops inside two small arrays.
      */
     struct HeapEntry
     {
         Tick when;
         std::uint64_t key;
+        std::uint32_t prio;
     };
 
-    /** Min-order on (when, seq); seq gives same-tick FIFO. */
+    /** Min-order on (when, prio, seq); seq gives in-band FIFO. */
     static bool
     earlier(const HeapEntry &a, const HeapEntry &b)
     {
         if (a.when != b.when)
             return a.when < b.when;
+        if (a.prio != b.prio)
+            return a.prio < b.prio;
         return a.key < b.key;
     }
 
@@ -185,7 +206,7 @@ class EventQueue
      * Allocate a slot, mark it scheduled, and push its heap entry;
      * the caller constructs the callback into the returned slot.
      */
-    EventHandle scheduleSlot(Tick when);
+    EventHandle scheduleSlot(Tick when, std::uint32_t prio);
 
     std::uint32_t
     allocSlot()

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The thread-local shard cursor.
+ *
+ * A sharded Simulator (see simulator.hh) runs one worker thread per
+ * shard; every SimObject API call routes through the shard the calling
+ * thread is executing, so model code stays shard-oblivious. The cursor
+ * lives here, outside simulator.hh, so observability code (per-shard
+ * span lanes) can ask "which shard am I on?" without pulling in the
+ * whole simulator.
+ */
+
+#ifndef AFA_SIM_SHARD_HH
+#define AFA_SIM_SHARD_HH
+
+namespace afa::sim {
+
+/**
+ * Shard executing on the current thread; 0 outside any sharded
+ * context (serial runs, tests, setup code). Written only by the
+ * owning thread (worker startup, ShardScope), so although it is a
+ * namespace-scope mutable, it is per-thread state, never shared.
+ */
+extern thread_local unsigned t_currentShard; // detlint:allow(mutable-static)
+
+/** Shard the calling thread is executing on (0 in serial runs). */
+inline unsigned
+currentShard() noexcept
+{
+    return t_currentShard;
+}
+
+} // namespace afa::sim
+
+#endif // AFA_SIM_SHARD_HH

@@ -1,89 +1,213 @@
 /**
  * @file
- * The Simulator owns simulated time, the event queue, and the root
+ * The Simulator owns simulated time, the event queues, and the root
  * random stream. All SimObjects hold a reference to one Simulator.
+ *
+ * With the default shard count of 1 this is the classic serial DES
+ * core. With N > 1 shards it becomes a conservatively synchronised
+ * parallel core: every SimObject belongs to exactly one shard, each
+ * shard owns a private EventQueue and clock, and execution proceeds in
+ * barrier-delimited windows. Each window the leader computes
+ *
+ *     M     = min over shards of the earliest pending event
+ *     bound = min(until, M + L - 1)
+ *
+ * where L is the lookahead horizon (the minimum positive cross-shard
+ * propagation latency, set by the model via setLookahead()), and every
+ * shard executes its events with time <= bound in parallel. Events
+ * that target another shard travel through the inter-shard mailbox
+ * (scheduleOnShard()): posts are queued locally and drained by the
+ * leader at the next barrier in source-major order, which gives
+ * same-tick cross-shard deliveries a deterministic FIFO order that is
+ * independent of thread scheduling. A cross post must be at least L
+ * ticks in the future; the window bound guarantees it lands in a
+ * strictly later window than the event that posted it, so no shard
+ * ever receives an event in its past.
+ *
+ * Cancellation of a cross event is legal only from the posting shard
+ * and only while the event is at least one full window away
+ * (now + L <= when). Under that contract a cancellation is processed
+ * at a barrier that strictly precedes the delivery's window, so a
+ * cancelled crossing never fires -- cancel/deliver races are resolved
+ * by barrier order, not by atomics.
  */
 
 #ifndef AFA_SIM_SIMULATOR_HH
 #define AFA_SIM_SIMULATOR_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/shard.hh"
 #include "sim/types.hh"
 
 namespace afa::sim {
 
 /**
- * Discrete-event simulator: a clock, an event queue, and a root RNG.
+ * Discrete-event simulator: per-shard clocks and event queues, an
+ * inter-shard mailbox, and a root RNG.
  */
 class Simulator
 {
   public:
-    /** Construct with the root random seed for this simulation. */
-    explicit Simulator(std::uint64_t seed = 1);
+    /** Hard cap on shards (cross-handle encoding allows far more;
+     *  the cap keeps misconfigured inputs loud). */
+    static constexpr unsigned kMaxShards = 64;
 
-    /** Current simulated time. */
-    Tick now() const { return currentTick; }
+    /**
+     * Construct with the root random seed and the shard count.
+     * shard_count == 1 (the default) is the serial core; the root RNG
+     * and all name-forked child streams are identical at any count.
+     */
+    explicit Simulator(std::uint64_t seed = 1, unsigned shard_count = 1);
 
-    /** Schedule @p fn at absolute time @p when (>= now). */
+    /** Number of shards (1 = serial). */
+    unsigned shards() const
+    {
+        return static_cast<unsigned>(shardStates.size());
+    }
+
+    /**
+     * Set the conservative lookahead horizon in ticks. Must be
+     * positive before a sharded run(); cross-shard posts must be at
+     * least this far in the future. The model derives it from its
+     * minimum cross-shard latency (the PCIe fabric's minimum link
+     * propagation delay).
+     */
+    void setLookahead(Tick ticks) { lookaheadTicks = ticks; }
+
+    /** The conservative sync horizon (0 = never set). */
+    Tick lookahead() const { return lookaheadTicks; }
+
+    /** Current simulated time on the calling thread's shard. */
+    Tick now() const { return localShard().clock; }
+
+    /** Schedule @p fn at absolute time @p when (>= now) on the
+     *  calling thread's shard. */
     template <typename F>
     EventHandle
     scheduleAt(Tick when, F &&fn)
     {
-        if (when < currentTick)
-            panicPastEvent(when);
-        return events.schedule(when, std::forward<F>(fn));
+        Shard &sh = localShard();
+        if (when < sh.clock)
+            panicPastEvent(when, sh.clock);
+        return sh.q.schedule(when, std::forward<F>(fn));
     }
 
-    /** Schedule @p fn @p delay ticks from now. */
+    /** Schedule @p fn @p delay ticks from now on the calling
+     *  thread's shard. */
     template <typename F>
     EventHandle
     scheduleAfter(Tick delay, F &&fn)
     {
-        if (delay > kMaxTick - currentTick)
+        Shard &sh = localShard();
+        if (delay > kMaxTick - sh.clock)
             panicDelayOverflow();
-        return events.schedule(currentTick + delay,
-                               std::forward<F>(fn));
-    }
-
-    /** Cancel a pending event; see EventQueue::cancel. */
-    bool cancel(EventHandle handle) { return events.cancel(handle); }
-
-    /** True if @p handle refers to a pending event. */
-    bool pending(EventHandle handle) const
-    {
-        return events.pending(handle);
+        return sh.q.schedule(sh.clock + delay, std::forward<F>(fn));
     }
 
     /**
-     * Run until the queue drains or @p until is reached.
+     * Schedule @p fn at absolute time @p when on @p shard -- the only
+     * way to make another shard do something.
      *
-     * Events scheduled exactly at @p until do execute; the clock never
-     * advances past @p until.
+     * Outside the parallel phase (setup code, serial runs) or when
+     * @p shard is the calling shard, this degenerates to a direct
+     * schedule into the target queue. During a parallel run it posts
+     * into the mailbox and requires when >= now + lookahead.
      *
-     * @return number of events executed by this call.
+     * @param internal marks engine plumbing (e.g. shipping a send to
+     *        the fabric's shard) whose count depends on the execution
+     *        strategy; such events are excluded from executedEvents()
+     *        so the count stays bit-identical across shard counts.
+     * @param order same-tick ordering band (see EventQueue::schedule).
+     *        Cross-capable events MUST use a non-zero, model-derived
+     *        band: a band-0 event's same-tick position is its FIFO
+     *        insertion rank, which differs between the direct path
+     *        (inserted when posted) and the mailbox path (inserted at
+     *        a barrier). A non-zero band makes the same-tick position
+     *        a function of (tick, band, poster order) only, identical
+     *        at any shard count. Conventions used by the model layers:
+     *        0 = plain local events, 1 = fault-plan control posts,
+     *        2 + <fabric node id> = packet deliveries to / ships from
+     *        that node.
+     * @return a handle; mailbox handles are tagged and may only be
+     *         cancelled/reclaimed from the posting shard while the
+     *         event is at least one lookahead window away.
+     */
+    EventHandle scheduleOnShard(unsigned shard, Tick when, EventFn fn,
+                                bool internal = false,
+                                std::uint32_t order = 0);
+
+    /** Cancel a pending event; see EventQueue::cancel. Cross-shard
+     *  handles obey the window contract documented on
+     *  scheduleOnShard(). */
+    bool cancel(EventHandle handle);
+
+    /** True if @p handle refers to a pending event. */
+    bool pending(EventHandle handle) const;
+
+    /**
+     * Cancel a pending event posted via scheduleOnShard() and take
+     * back its callback (for re-routing, e.g. a fast-path flight
+     * displaced after its delivery was already posted). Works on both
+     * mailbox handles (cross-shard posts; the window contract of
+     * scheduleOnShard() applies) and plain handles of the calling
+     * shard's queue (same-shard posts). Panics if the event already
+     * fired or was cancelled: callers use this only when the contract
+     * guarantees the event cannot have fired.
+     */
+    EventFn reclaim(EventHandle handle);
+
+    /**
+     * Run until every queue drains or @p until is reached.
+     *
+     * Events scheduled exactly at @p until do execute; no clock
+     * advances past @p until. On return all shard clocks are
+     * equalised to the global maximum (clamped up to @p until when
+     * events remain), matching the serial clock semantics.
+     *
+     * @return number of model events executed by this call
+     *         (excluding internal plumbing events).
      */
     std::uint64_t run(Tick until = kMaxTick);
 
     /**
      * Run at most @p max_events events (for debugging/stepping).
+     * Sharded simulators are stepped sequentially in global time
+     * order, one event at a time, with mailboxes drained between
+     * steps -- same-tick cross-shard interleavings may differ from a
+     * parallel run().
      * @return number executed.
      */
     std::uint64_t runSteps(std::uint64_t max_events);
 
-    /** Request that run() return after the current event completes. */
-    void requestStop() { stopRequested = true; }
+    /** Request that run() return after the current window completes
+     *  (after the current event, when serial). Safe from any shard. */
+    void
+    requestStop()
+    {
+        stopRequested.store(true, std::memory_order_relaxed);
+    }
 
     /** True while a stop request is outstanding. */
-    bool stopping() const { return stopRequested; }
+    bool
+    stopping() const
+    {
+        return stopRequested.load(std::memory_order_relaxed);
+    }
 
-    /** Pending event count. */
-    std::size_t pendingEvents() const { return events.size(); }
+    /** Pending event count, summed over all shards. */
+    std::size_t pendingEvents() const;
 
-    /** Total events executed since construction. */
-    std::uint64_t executedEvents() const { return events.executed(); }
+    /** Total model events executed since construction, summed over
+     *  all shards and excluding internal plumbing events, so the
+     *  value is bit-identical across shard counts. */
+    std::uint64_t executedEvents() const;
 
     /** The root random stream (fork children from this). */
     Rng &rng() { return rootRng; }
@@ -91,14 +215,116 @@ class Simulator
     /** The seed the simulation was constructed with. */
     std::uint64_t seed() const { return rootRng.seed(); }
 
+    /** Panic unless @p shard names a valid shard. */
+    void checkShardId(unsigned shard) const;
+
   private:
-    [[noreturn]] void panicPastEvent(Tick when) const;
+    friend class ShardScope;
+
+    /** Mailbox entry states; transitions are barrier-ordered. */
+    enum MsgState : std::uint8_t {
+        kMsgFree,      ///< slot on the freelist
+        kMsgOutbox,    ///< posted, not yet drained by the leader
+        kMsgQueued,    ///< scheduled into the destination queue
+        kMsgCancelled, ///< cancelled before delivery
+        kMsgFired,     ///< delivered; slot awaiting recycle
+    };
+
+    /** One cross-shard message. Stable address (owned via
+     *  unique_ptr) so the destination shard can fire it while the
+     *  source shard grows its slab. */
+    struct CrossMsg
+    {
+        EventFn fn;
+        Tick when = 0;
+        EventHandle queued{};
+        std::uint32_t gen = 0;
+        std::uint32_t order = 0; ///< same-tick ordering band
+        std::uint16_t dst = 0;
+        MsgState state = kMsgFree;
+        bool internal = false;
+    };
+
+    /** Per-shard state. Mailbox vectors are written only by the
+     *  owning thread during the parallel phase and by the leader at
+     *  barriers; retired is the exception -- it collects (src, idx)
+     *  pairs for messages *delivered on this shard*, so it too is
+     *  only written by its owner. */
+    struct alignas(64) Shard
+    {
+        EventQueue q;
+        Tick clock = 0;
+        std::uint64_t plumbing = 0; ///< internal events executed here
+        std::vector<std::unique_ptr<CrossMsg>> slab;
+        std::vector<std::uint32_t> freeSlab;
+        std::vector<std::uint32_t> outbox;
+        std::vector<std::uint32_t> cancelReq;
+        std::vector<std::pair<std::uint16_t, std::uint32_t>> retired;
+    };
+
+    /** Cross-handle encoding in EventHandle::slot: bit 31 tags a
+     *  mailbox handle (real queue slots use 24 bits; kNullSlot is
+     *  excluded by valid()), bits 30..20 the source shard, bits
+     *  19..0 the slab index. */
+    static constexpr std::uint32_t kCrossBit = 0x80000000u;
+    static constexpr unsigned kCrossSrcShift = 20;
+    static constexpr std::uint32_t kCrossIdxMask = (1u << 20) - 1;
+
+    Shard &
+    localShard()
+    {
+        return *shardStates[t_currentShard];
+    }
+    const Shard &
+    localShard() const
+    {
+        return *shardStates[t_currentShard];
+    }
+
+    enum class EndReason { Stopped, Drained, Bound };
+
+    std::uint64_t runSerial(Tick until);
+    std::uint64_t runParallel(Tick until);
+    void planRound(Tick until);
+    void finishRound(Tick until, EndReason reason);
+    void drainMailboxes();
+    void fireCross(CrossMsg *msg, unsigned src, std::uint32_t idx);
+    void recycleMsg(Shard &src, std::uint32_t idx);
+    bool cancelCross(EventHandle handle, EventFn *reclaimed);
+    std::uint64_t modelExecuted() const;
+
+    [[noreturn]] static void panicPastEvent(Tick when, Tick now_tick);
     [[noreturn]] static void panicDelayOverflow();
 
-    EventQueue events;
-    Tick currentTick;
-    bool stopRequested;
+    std::vector<std::unique_ptr<Shard>> shardStates;
+    Tick lookaheadTicks = 0;
+    Tick roundBound = 0;
+    bool roundDone = false;
+    bool parallelPhase = false;
+    std::atomic<bool> stopRequested;
     Rng rootRng;
+};
+
+/**
+ * RAII shard-affinity scope for setup code: SimObjects constructed
+ * (and start()-ed) inside the scope schedule into the given shard.
+ * Only meaningful outside the parallel phase; worker threads pin
+ * their own cursor.
+ */
+class ShardScope
+{
+  public:
+    ShardScope(Simulator &sim, unsigned shard) : saved(t_currentShard)
+    {
+        sim.checkShardId(shard);
+        t_currentShard = shard;
+    }
+    ~ShardScope() { t_currentShard = saved; }
+    ShardScope(const ShardScope &) = delete;
+    ShardScope &operator=(const ShardScope &) = delete;
+
+  private:
+    unsigned saved;
 };
 
 } // namespace afa::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Differential bit-identity suite for the sharded event core: a
+ * figure-style experiment rendered to its canonical report strings
+ * must be byte-for-byte identical at every shard count, with and
+ * without span tracing, and with a fault plan whose events land on
+ * SSDs across shard boundaries. These are the reduced-scale twins of
+ * the fig06/fig09/fig14 bench comparisons in EXPERIMENTS.md.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "fault/fault_plan.hh"
+#include "obs/span.hh"
+#include "sim/logging.hh"
+
+using namespace afa::core;
+using afa::sim::msec;
+
+namespace {
+
+class ShardDeterminismTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+
+    /**
+     * A reduced fig-style config: 8 SSDs over a short run keeps each
+     * execution around a second while still crossing every shard
+     * boundary of a 4-way partition (devices 0-2 / 3-5 / 6-7).
+     */
+    static ExperimentParams
+    baseParams(TuningProfile profile)
+    {
+        ExperimentParams p;
+        p.profile = profile;
+        p.ssds = 8;
+        p.runtime = msec(100);
+        p.smartPeriod = msec(40);
+        p.irqBalanceInterval = msec(40);
+        p.seed = 20260808;
+        return p;
+    }
+
+    /**
+     * Everything the figures print, plus the event count: any
+     * divergence between shard counts must show up here. Wall-clock
+     * rates are intentionally absent -- they are the only output the
+     * determinism contract excludes.
+     */
+    static std::string
+    canonical(const ExperimentResult &r)
+    {
+        std::ostringstream os;
+        os << describeExperiment(r) << perDeviceTable(r).toString()
+           << '\n'
+           << envelopeTable(r).toString() << '\n'
+           << "runs=" << r.runs << " events=" << r.simulatedEvents
+           << " spanDrops=" << r.spanDrops << '\n'
+           << r.attribution.toText();
+        return os.str();
+    }
+
+    static std::string
+    runCanonical(ExperimentParams p, unsigned shards)
+    {
+        p.shards = shards;
+        return canonical(ExperimentRunner::run(p));
+    }
+};
+
+TEST_F(ShardDeterminismTest, Fig06DefaultProfileBitIdentical)
+{
+    const auto params = baseParams(TuningProfile::Default);
+    const std::string serial = runCanonical(params, 1);
+    EXPECT_EQ(runCanonical(params, 2), serial);
+    EXPECT_EQ(runCanonical(params, 4), serial);
+}
+
+TEST_F(ShardDeterminismTest, Fig09IrqAffinityTracedBitIdentical)
+{
+    auto params = baseParams(TuningProfile::IrqAffinity);
+    params.traceMask = afa::obs::kAllCategories;
+    const std::string serial = runCanonical(params, 1);
+    EXPECT_EQ(runCanonical(params, 4), serial);
+}
+
+TEST_F(ShardDeterminismTest, TracingDoesNotPerturbTheShardedModel)
+{
+    // The traced and untraced shards=4 runs must agree on everything
+    // but the attribution section (absent when untraced).
+    auto params = baseParams(TuningProfile::IrqAffinity);
+    params.shards = 4;
+    auto untraced = ExperimentRunner::run(params);
+    params.traceMask = afa::obs::kAllCategories;
+    auto traced = ExperimentRunner::run(params);
+    EXPECT_EQ(describeExperiment(traced), describeExperiment(untraced));
+    EXPECT_EQ(perDeviceTable(traced).toString(),
+              perDeviceTable(untraced).toString());
+    EXPECT_EQ(traced.simulatedEvents, untraced.simulatedEvents);
+}
+
+TEST_F(ShardDeterminismTest, Fig14GeometryVariantBitIdentical)
+{
+    auto params = baseParams(TuningProfile::IrqAffinity);
+    params.variant = GeometryVariant::OnePerCore;
+    const std::string serial = runCanonical(params, 1);
+    EXPECT_EQ(runCanonical(params, 2), serial);
+    EXPECT_EQ(runCanonical(params, 4), serial);
+}
+
+TEST_F(ShardDeterminismTest, FaultPlanAcrossShardBoundariesBitIdentical)
+{
+    // Faults on devices 0,1,2 (shard 1), 4 (shard 2) and 6 (shard 3)
+    // under a 4-way partition: limp/dropout/stall arrive as mailbox
+    // control posts, link errors draw from per-link RNG streams.
+    auto plan = std::make_shared<afa::fault::FaultPlan>(
+        afa::fault::FaultPlan::parseText(
+            "timeout_ms 10\n"
+            "max_retries 3\n"
+            "retry_backoff_ms 1\n"
+            "limp       ssd=1 at_ms=20 dur_ms=60 factor=6\n"
+            "link_error ssd=2 at_ms=10 dur_ms=80 rate=0.15\n"
+            "link_error ssd=6 at_ms=30 dur_ms=50 rate=0.10\n"
+            "dropout    ssd=4 at_ms=50 dur_ms=12\n"
+            "ctrl_stall ssd=0 at_ms=40 dur_ms=3\n",
+            "<shard_determinism_test>"));
+    auto params = baseParams(TuningProfile::IrqAffinity);
+    params.faults = plan;
+    const std::string serial = runCanonical(params, 1);
+    EXPECT_EQ(runCanonical(params, 4), serial);
+
+    // And with tracing stacked on top of the faulted run.
+    params.traceMask = afa::obs::kAllCategories;
+    const std::string traced_serial = runCanonical(params, 1);
+    EXPECT_EQ(runCanonical(params, 4), traced_serial);
+}
+
+TEST_F(ShardDeterminismTest, EventCountSumsAcrossShards)
+{
+    // simulatedEvents aggregates per-shard counters minus plumbing;
+    // the sum must be shard-count-invariant and non-trivial.
+    const auto params = baseParams(TuningProfile::Default);
+    auto p1 = params;
+    p1.shards = 1;
+    auto serial = ExperimentRunner::run(p1);
+    auto p4 = params;
+    p4.shards = 4;
+    auto sharded = ExperimentRunner::run(p4);
+    EXPECT_GT(serial.simulatedEvents, 100000u);
+    EXPECT_EQ(sharded.simulatedEvents, serial.simulatedEvents);
+}
+
+} // namespace

@@ -86,8 +86,8 @@ TEST(SpanLogTest, AttributionStaysExactAcrossDrops)
         total += i;
     }
     EXPECT_EQ(log.dropped(), 98u);
-    const StageTotals &media =
-        log.attribution().stage(Stage::MediaRead);
+    const Attribution attr = log.attribution();
+    const StageTotals &media = attr.stage(Stage::MediaRead);
     EXPECT_EQ(media.count, 100u);
     EXPECT_EQ(media.totalTicks, total);
     EXPECT_EQ(media.maxTicks, 100u);

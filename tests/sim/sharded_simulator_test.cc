@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Unit tests for the sharded simulator core: the inter-shard mailbox
+ * (post, cancel, reclaim, lookahead contract), the internal-event
+ * discount that keeps executedEvents() bit-identical across shard
+ * counts, same-tick ordering bands, and determinism of a cross-shard
+ * ping-pong workload at every shard count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/shard.hh"
+#include "sim/simulator.hh"
+
+using afa::sim::EventHandle;
+using afa::sim::ShardScope;
+using afa::sim::Simulator;
+using afa::sim::Tick;
+
+namespace {
+
+class ShardedSimulatorTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { afa::sim::setThrowOnError(true); }
+    void TearDown() override { afa::sim::setThrowOnError(false); }
+};
+
+TEST_F(ShardedSimulatorTest, ShardCountAndClamp)
+{
+    Simulator one(1, 0);
+    EXPECT_EQ(one.shards(), 1u);
+    Simulator four(1, 4);
+    EXPECT_EQ(four.shards(), 4u);
+    EXPECT_THROW(Simulator(1, Simulator::kMaxShards + 1),
+                 afa::sim::SimError);
+}
+
+TEST_F(ShardedSimulatorTest, ShardedRunRequiresLookahead)
+{
+    Simulator sim(1, 2);
+    sim.scheduleAt(10, [] {});
+    EXPECT_THROW(sim.run(), afa::sim::SimError);
+}
+
+TEST_F(ShardedSimulatorTest, CrossPostDeliversOnTargetShard)
+{
+    Simulator sim(1, 2);
+    sim.setLookahead(10);
+    unsigned fired_on = 99;
+    Tick fired_at = 0;
+    sim.scheduleAt(5, [&] {
+        sim.scheduleOnShard(1, 50, [&] {
+            fired_on = afa::sim::currentShard();
+            fired_at = sim.now();
+        });
+    });
+    sim.run();
+    EXPECT_EQ(fired_on, 1u);
+    EXPECT_EQ(fired_at, 50u);
+}
+
+TEST_F(ShardedSimulatorTest, CrossPostInsideWindowPanics)
+{
+    Simulator sim(1, 2);
+    sim.setLookahead(100);
+    bool threw = false;
+    sim.scheduleAt(5, [&] {
+        // 5 + 99 < 5 + lookahead: violates the conservative horizon.
+        try {
+            sim.scheduleOnShard(1, 104, [] {});
+        } catch (const afa::sim::SimError &) {
+            threw = true;
+            sim.requestStop();
+        }
+    });
+    sim.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST_F(ShardedSimulatorTest, SetupTimePostsBypassTheHorizon)
+{
+    // Outside the parallel phase the direct path applies: posts may
+    // be arbitrarily near (the windows haven't started).
+    Simulator sim(1, 4);
+    sim.setLookahead(1000);
+    bool fired = false;
+    sim.scheduleOnShard(3, 1, [&] { fired = true; });
+    sim.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST_F(ShardedSimulatorTest, InternalEventsAreNotCounted)
+{
+    Simulator sim(1, 2);
+    sim.setLookahead(10);
+    int fired = 0;
+    sim.scheduleAt(5, [&] {
+        ++fired;
+        sim.scheduleOnShard(1, 50, [&] { ++fired; },
+                            /*internal=*/true);
+        sim.scheduleOnShard(1, 60, [&] { ++fired; });
+    });
+    const std::uint64_t executed = sim.run();
+    EXPECT_EQ(fired, 3);
+    // The internal cross post is plumbing: only the poster and the
+    // non-internal post count as model events.
+    EXPECT_EQ(executed, 2u);
+    EXPECT_EQ(sim.executedEvents(), 2u);
+}
+
+TEST_F(ShardedSimulatorTest, InternalDiscountMatchesSerial)
+{
+    // A serial-direct internal post is discounted exactly like a
+    // mailbox one, so counts agree between shard counts.
+    Simulator sim(1, 1);
+    int fired = 0;
+    sim.scheduleAt(5, [&] {
+        sim.scheduleOnShard(0, 50, [&] { ++fired; },
+                            /*internal=*/true);
+    });
+    EXPECT_EQ(sim.run(), 1u);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ShardedSimulatorTest, CrossCancelBeforeDelivery)
+{
+    Simulator sim(1, 2);
+    sim.setLookahead(10);
+    bool fired = false;
+    sim.scheduleAt(5, [&] {
+        EventHandle h = sim.scheduleOnShard(1, 200, [&] {
+            fired = true;
+        });
+        EXPECT_TRUE(sim.pending(h));
+        EXPECT_TRUE(sim.cancel(h));
+        EXPECT_FALSE(sim.pending(h));
+        EXPECT_FALSE(sim.cancel(h));
+    });
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST_F(ShardedSimulatorTest, ReclaimReturnsTheCallback)
+{
+    Simulator sim(1, 2);
+    sim.setLookahead(10);
+    int where = 0;
+    sim.scheduleAt(5, [&] {
+        EventHandle h = sim.scheduleOnShard(1, 200, [&] { where = 1; });
+        afa::sim::EventFn fn = sim.reclaim(h);
+        fn(); // runs here, not on shard 1
+        EXPECT_EQ(where, 1);
+        where = 2;
+    });
+    sim.run();
+    EXPECT_EQ(where, 2);
+}
+
+TEST_F(ShardedSimulatorTest, ReclaimWorksOnPlainHandles)
+{
+    Simulator sim(1, 1);
+    int fired = 0;
+    sim.scheduleAt(5, [&] {
+        EventHandle h = sim.scheduleOnShard(0, 50, [&] { ++fired; });
+        afa::sim::EventFn fn = sim.reclaim(h);
+        fn();
+    });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST_F(ShardedSimulatorTest, OrderingBandsRunAfterPlainEvents)
+{
+    // Same tick: band-0 events in FIFO order first, then ascending
+    // bands. Bands posted out of numeric order still sort.
+    Simulator sim(1, 1);
+    std::string order;
+    sim.scheduleOnShard(0, 10, [&] { order += 'c'; }, false, 7);
+    sim.scheduleAt(10, [&] { order += 'a'; });
+    sim.scheduleOnShard(0, 10, [&] { order += 'b'; }, false, 3);
+    sim.scheduleAt(10, [&] { order += 'A'; });
+    sim.run();
+    EXPECT_EQ(order, "aAbc");
+}
+
+TEST_F(ShardedSimulatorTest, BandOrderIsIdenticalAcrossShardCounts)
+{
+    // Two posters on different shards hit shard 0 at the same tick
+    // with different bands; the firing order must be the band order
+    // at any shard count, regardless of which mailbox drained first.
+    for (unsigned shards : {1u, 2u, 3u}) {
+        Simulator sim(1, shards);
+        sim.setLookahead(10);
+        std::string order;
+        {
+            ShardScope scope(sim, shards > 1 ? 1 : 0);
+            sim.scheduleAt(5, [&, shards] {
+                sim.scheduleOnShard(0, 50, [&] { order += 'y'; },
+                                    false, 9);
+            });
+        }
+        {
+            ShardScope scope(sim, shards > 2 ? 2 : 0);
+            sim.scheduleAt(6, [&, shards] {
+                sim.scheduleOnShard(0, 50, [&] { order += 'x'; },
+                                    false, 4);
+            });
+        }
+        sim.run();
+        EXPECT_EQ(order, "xy") << shards << " shards";
+    }
+}
+
+TEST_F(ShardedSimulatorTest, ClockEqualisedAfterBoundedRun)
+{
+    Simulator sim(1, 3);
+    sim.setLookahead(10);
+    {
+        ShardScope scope(sim, 1);
+        sim.scheduleAt(100, [] {});
+        sim.scheduleAt(900, [] {});
+    }
+    sim.run(500);
+    // Events remain beyond the bound: every shard's clock rests at
+    // the bound, like the serial core.
+    EXPECT_EQ(sim.now(), 500u);
+    {
+        ShardScope scope(sim, 2);
+        EXPECT_EQ(sim.now(), 500u);
+    }
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+/**
+ * Cross-shard ping-pong: shard A posts to shard B, which posts back,
+ * with a deterministic per-bounce record of (shard, tick). The log
+ * must be identical at every shard count.
+ */
+std::vector<std::pair<unsigned, Tick>>
+pingPong(unsigned shard_count)
+{
+    Simulator sim(7, shard_count);
+    sim.setLookahead(25);
+    std::vector<std::pair<unsigned, Tick>> log;
+    const unsigned a = 0;
+    const unsigned b = shard_count > 1 ? 1 : 0;
+    // Self-referential bouncing closure, bounded by hop count.
+    struct Bouncer
+    {
+        Simulator &sim;
+        std::vector<std::pair<unsigned, Tick>> &log;
+        unsigned a, b;
+        void
+        bounce(unsigned hops)
+        {
+            log.emplace_back(afa::sim::currentShard(), sim.now());
+            if (hops == 0)
+                return;
+            const unsigned target =
+                afa::sim::currentShard() == a ? b : a;
+            sim.scheduleOnShard(target, sim.now() + 25,
+                                [this, hops] { bounce(hops - 1); },
+                                false, 1);
+        }
+    } bouncer{sim, log, a, b};
+    sim.scheduleAt(0, [&] { bouncer.bounce(12); });
+    sim.run();
+    return log;
+}
+
+TEST_F(ShardedSimulatorTest, PingPongIsDeterministicAcrossShardCounts)
+{
+    auto serial = pingPong(1);
+    ASSERT_EQ(serial.size(), 13u);
+    for (unsigned k : {2u, 3u, 4u}) {
+        auto sharded = pingPong(k);
+        ASSERT_EQ(sharded.size(), serial.size()) << k << " shards";
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(sharded[i].second, serial[i].second)
+                << "hop " << i << " at " << k << " shards";
+    }
+}
+
+TEST_F(ShardedSimulatorTest, RunStepsAgreesWithRunOnEventTimes)
+{
+    auto build = [](Simulator &sim, std::vector<Tick> &ticks) {
+        sim.setLookahead(10);
+        ShardScope scope(sim, 1);
+        sim.scheduleAt(5, [&sim, &ticks] {
+            ticks.push_back(sim.now());
+            sim.scheduleOnShard(0, 20, [&sim, &ticks] {
+                ticks.push_back(sim.now());
+            });
+        });
+    };
+    Simulator run_sim(1, 2);
+    std::vector<Tick> run_ticks;
+    build(run_sim, run_ticks);
+    run_sim.run();
+
+    Simulator step_sim(1, 2);
+    std::vector<Tick> step_ticks;
+    build(step_sim, step_ticks);
+    EXPECT_EQ(step_sim.runSteps(100), 2u);
+    EXPECT_EQ(step_ticks, run_ticks);
+}
+
+} // namespace

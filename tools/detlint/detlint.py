@@ -32,6 +32,15 @@ contract:
                        randomness must flow from the FaultEngine's
                        per-object stream ("afa.faults") or faulted
                        replays stop being replayable.
+  shard-state          calling a controller's cross-shard mutators
+                       (setLimpFactor/setOffline/stallUntil) outside a
+                       scheduleOnShard() post: in a sharded run the
+                       controller's state belongs to its own shard, so
+                       mutating it directly from another shard is a
+                       data race and breaks bit-identical replay. Post
+                       the mutation to the owning shard through the
+                       mailbox API, or annotate code that provably
+                       runs on the owning shard.
 
 Escape hatch: a trailing or immediately preceding comment
 `// detlint:allow(<rule>[,<rule>...])` suppresses a diagnostic; every
@@ -84,6 +93,10 @@ RULES = {
     "fault-rng": "fault code must draw randomness from the "
                  "FaultEngine's seeded per-object stream, not a "
                  "freshly constructed Rng",
+    "shard-state": "cross-shard SimObject state must be mutated via a "
+                   "scheduleOnShard() post to the owning shard, not "
+                   "touched directly; annotate shard-affine call "
+                   "sites with detlint:allow(shard-state)",
 }
 
 SIMPLE_PATTERNS = [
@@ -108,6 +121,15 @@ SIMPLE_PATTERNS = [
 FAULT_RNG_RE = re.compile(
     r"\bRng\s+\w+\s*[({=;]"
     r"|\bnew\s+(?:afa\s*::\s*sim\s*::\s*)?Rng\b")
+
+# Cross-shard controller mutators: legal only inside a
+# scheduleOnShard() post (the mailbox routes it to the owning shard)
+# or at an annotated shard-affine call site. Member-access spelling
+# only, so declarations/definitions of the mutators don't fire.
+SHARD_STATE_RE = re.compile(
+    r"(?:\.|->)\s*(?:setLimpFactor|setOffline|stallUntil)\s*\(")
+
+SCHEDULE_ON_SHARD_RE = re.compile(r"\bscheduleOnShard\s*\(")
 
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*&?\s*"
@@ -333,6 +355,39 @@ def check_mutable_static(path, text, diags):
         i += 1
 
 
+def schedule_on_shard_spans(text):
+    """Character ranges of every scheduleOnShard(...) call, from the
+    opening parenthesis to its balanced close. Mutator calls inside
+    such a span execute on the owning shard by construction."""
+    spans = []
+    for m in SCHEDULE_ON_SHARD_RE.finditer(text):
+        depth = 0
+        i = m.end() - 1  # the opening '('
+        n = len(text)
+        while i < n:
+            c = text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        spans.append((m.start(), i))
+    return spans
+
+
+def check_shard_state(path, text, diags):
+    spans = None
+    for m in SHARD_STATE_RE.finditer(text):
+        if spans is None:
+            spans = schedule_on_shard_spans(text)
+        if any(start <= m.start() <= end for start, end in spans):
+            continue
+        diags.append(Diagnostic(path, line_of(text, m.start()),
+                                "shard-state"))
+
+
 def check_unordered_iteration(path, text, diags):
     names = set(UNORDERED_DECL_RE.findall(text))
     if not names:
@@ -362,6 +417,7 @@ def check_file(path, display_path):
             diags.append(Diagnostic(display_path,
                                     line_of(text, m.start()),
                                     "fault-rng"))
+    check_shard_state(display_path, text, diags)
     check_unordered_iteration(display_path, text, diags)
     check_mutable_static(display_path, text, diags)
 

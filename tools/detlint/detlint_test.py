@@ -29,6 +29,7 @@ EXPECTATIONS = {
     "bad_unordered_iteration.cc": {"unordered-iteration": 3},
     "bad_mutable_static.cc": {"mutable-static": 4},
     "bad_fault_rng.cc": {"fault-rng": 2},
+    "bad_shard_state.cc": {"shard-state": 3},
     "allowed.cc": {},
     "clean.cc": {},
 }

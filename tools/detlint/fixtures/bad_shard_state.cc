@@ -1,0 +1,35 @@
+// Fixture: direct cross-shard controller mutations outside the
+// mailbox API. Each of the three mutators must fire once; the calls
+// routed through scheduleOnShard() (and the annotated one) must not.
+
+#include "nvme/controller.hh"
+#include "sim/simulator.hh"
+
+namespace afa::fixture {
+
+void
+bad(afa::nvme::Controller *ctrl, afa::nvme::Controller &ref,
+    afa::sim::Simulator &sim)
+{
+    // Direct mutations from whatever shard happens to be running:
+    // races with the owning shard and breaks bit-identical replay.
+    ctrl->setLimpFactor(8.0);
+    ref.setOffline(true);
+    ctrl->stallUntil(1000);
+
+    // Posted to the owning shard through the mailbox API: legal.
+    sim.scheduleOnShard(2, 5000,
+                        [ctrl] { ctrl->setLimpFactor(1.0); },
+                        /*internal=*/true, /*order=*/1);
+    sim.scheduleOnShard(
+        2, 6000,
+        [&ref] {
+            ref.setOffline(false);
+        });
+
+    // Provably shard-affine call site, audited by hand:
+    // detlint:allow(shard-state) — runs on the owning shard
+    ctrl->stallUntil(2000);
+}
+
+} // namespace afa::fixture
