@@ -234,7 +234,7 @@ BM_ShardedEventThroughput(benchmark::State &state)
     std::uint64_t events = 0;
     for (auto _ : state) {
         afa::sim::Simulator sim(42, shards);
-        sim.setLookahead(100);
+        sim.setLookahead(afa::sim::TickDelta{100});
         struct Chain
         {
             afa::sim::Simulator &sim;

@@ -44,7 +44,7 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
         if (tracer)
             afa::sim::fatal("AfaSystem: the debug tracer is not "
                             "shard-safe; run with shards=1");
-        if (sim.lookahead() == 0)
+        if (sim.lookahead() == afa::sim::TickDelta{})
             afa::sim::fatal("AfaSystem: sharded run needs a positive "
                             "minimum link propagation for lookahead");
         for (unsigned d = 0; d < params.ssds; ++d) {

@@ -132,7 +132,10 @@ ParallelExperimentRunner::run(const std::vector<RunDescriptor> &plan)
         return results;
     }
 
-    const auto suite_start = Clock::now();
+    // Wall-clock reads below are runner telemetry only (wallSeconds /
+    // events-per-second in the run-metrics block); they never reach
+    // simulation state, which advances on Tick alone.
+    const auto suite_start = Clock::now(); // detlint:allow(wall-clock)
     std::atomic<std::size_t> cursor{0};
     const unsigned workers = static_cast<unsigned>(
         std::min<std::size_t>(numJobs, plan.size()));
@@ -144,10 +147,10 @@ ParallelExperimentRunner::run(const std::vector<RunDescriptor> &plan)
             if (i >= plan.size())
                 return;
             metricsLog.noteStarted();
-            const auto run_start = Clock::now();
+            const auto run_start = Clock::now(); // detlint:allow(wall-clock)
             results[i] = ExperimentRunner::run(plan[i].params);
             const std::chrono::duration<double> elapsed =
-                Clock::now() - run_start;
+                Clock::now() - run_start; // detlint:allow(wall-clock)
 
             afa::stats::RunMetrics metrics;
             metrics.index = plan[i].index;
@@ -184,7 +187,7 @@ ParallelExperimentRunner::run(const std::vector<RunDescriptor> &plan)
     }
 
     const std::chrono::duration<double> suite_elapsed =
-        Clock::now() - suite_start;
+        Clock::now() - suite_start; // detlint:allow(wall-clock)
     suiteSeconds = suite_elapsed.count();
     return results;
 }

@@ -39,11 +39,9 @@ NandArray::checkAddr(const PageAddr &addr) const
 }
 
 Tick
-NandArray::transferTime(std::uint32_t bytes) const
+NandArray::transferTime(afa::sim::Bytes bytes) const
 {
-    double secs =
-        static_cast<double>(bytes) / (nandParams.channelMBps * 1e6);
-    return static_cast<Tick>(secs * 1e9);
+    return afa::sim::transferTicks(bytes, nandParams.channelMBps * 1e6);
 }
 
 PageAddr
@@ -72,7 +70,7 @@ NandArray::read(const PageAddr &addr, std::uint32_t bytes, DoneFn done,
     dieBusy[di] = die_end;
     nandStats.dieBusyTime += t_r;
     // ...then the channel for the data-out transfer.
-    Tick xfer = transferTime(bytes);
+    Tick xfer = transferTime(afa::sim::Bytes{bytes});
     Tick ch_start = std::max(die_end, channelBusy[addr.channel]);
     Tick ch_end = ch_start + xfer;
     channelBusy[addr.channel] = ch_end;
@@ -94,7 +92,7 @@ NandArray::program(const PageAddr &addr, std::uint32_t bytes,
     checkAddr(addr);
     std::size_t di = dieIndex(addr);
     // Data-in over the channel first...
-    Tick xfer = transferTime(bytes);
+    Tick xfer = transferTime(afa::sim::Bytes{bytes});
     Tick ch_start = std::max(now(), channelBusy[addr.channel]);
     Tick ch_end = ch_start + xfer;
     channelBusy[addr.channel] = ch_end;

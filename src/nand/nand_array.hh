@@ -139,7 +139,7 @@ class NandArray : public afa::sim::SimObject
 
     std::size_t dieIndex(const PageAddr &addr) const;
     void checkAddr(const PageAddr &addr) const;
-    Tick transferTime(std::uint32_t bytes) const;
+    Tick transferTime(afa::sim::Bytes bytes) const;
 };
 
 } // namespace afa::nand

@@ -133,12 +133,11 @@ Controller::throughPipeline(Tick proc_time, std::uint64_t io)
 }
 
 Tick
-Controller::throughXfer(Tick ready, std::uint32_t bytes)
+Controller::throughXfer(Tick ready, afa::sim::Bytes bytes)
 {
     Tick start = std::max(ready, xferBusy);
-    double secs =
-        static_cast<double>(bytes) / (fwConfig.internalMBps * 1e6);
-    xferBusy = start + static_cast<Tick>(secs * 1e9);
+    xferBusy = start +
+        afa::sim::transferTicks(bytes, fwConfig.internalMBps * 1e6);
     return xferBusy;
 }
 
@@ -233,7 +232,8 @@ Controller::serveRead(const NvmeCommand &cmd)
                                     xfer_ready + extra, spanTrack);
                 xfer_ready += extra;
             }
-            Tick xfer_done = throughXfer(xfer_ready, cmd.bytes);
+            Tick xfer_done = throughXfer(
+                xfer_ready, afa::sim::Bytes{cmd.bytes});
             if (spanLog && spanLog->wants(afa::obs::Category::Nvme)) {
                 spanLog->record(afa::obs::Stage::MediaRead, cmd.tag,
                                 media_begin, media_done, spanTrack);
@@ -283,12 +283,11 @@ Controller::serveWrite(const NvmeCommand &cmd)
     // the per-command FTL overhead that caps random IOPS (Table I).
     bool sequential = cmd.lba == lastWriteEndLba;
     lastWriteEndLba = cmd.lba + blocks;
-    double bw_secs =
-        static_cast<double>(cmd.bytes) / (fwConfig.writeMBps * 1e6);
+    const Tick bw_ticks = afa::sim::transferTicks(
+        afa::sim::Bytes{cmd.bytes}, fwConfig.writeMBps * 1e6);
     Tick service = sequential
-        ? static_cast<Tick>(bw_secs * 1e9)
-        : std::max(static_cast<Tick>(bw_secs * 1e9),
-                   fwConfig.randomWriteOverhead);
+        ? bw_ticks
+        : std::max(bw_ticks, fwConfig.randomWriteOverhead);
     if (limp != 1.0) {
         Tick extra =
             static_cast<Tick>(static_cast<double>(service) *

@@ -171,7 +171,7 @@ class Controller : public afa::sim::SimObject
     Tick throughPipeline(Tick proc_time, std::uint64_t io = 0);
 
     /** Reserve the internal DMA engine from @p ready; returns end. */
-    Tick throughXfer(Tick ready, std::uint32_t bytes);
+    Tick throughXfer(Tick ready, afa::sim::Bytes bytes);
 
     /** Sample an optional firmware hiccup penalty. */
     Tick sampleHiccup();

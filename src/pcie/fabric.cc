@@ -251,9 +251,10 @@ Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
         if (!resv.empty() && resv.back().start > enter)
             displaceEarlier(ph.link, enter);
     }
-    Tick arrive = link.transfer(enter, bytes);
+    Tick arrive = link.transfer(enter, afa::sim::Bytes{bytes});
     fabricStats.totalQueueDelay += (arrive - enter) -
-        link.serialization(bytes) - link.params().propagation;
+        link.serialization(afa::sim::Bytes{bytes}) -
+        link.params().propagation;
     if (faultedLinks) {
         // Injected link fault: each delivery attempt is corrupted
         // with probability `rate` and the payload re-serialised.
@@ -263,7 +264,8 @@ Fabric::hop(NodeId at_node, NodeId dst, std::uint32_t bytes,
             unsigned replays = 0;
             afa::sim::Rng &stream = linkFaultStream[ph.link];
             while (replays < 16 && stream.chance(rate)) {
-                arrive = link.transfer(arrive, bytes);
+                arrive = link.transfer(arrive,
+                                       afa::sim::Bytes{bytes});
                 ++replays;
             }
             fabricStats.linkReplays += replays;
@@ -463,7 +465,8 @@ Fabric::sendAt(Tick enter, NodeId src, NodeId dst, std::uint32_t bytes,
                 linkResv[ph.link].push_back(
                     Reservation{when, prev, rec_idx, i - first});
             }
-            when = link.occupy(when, bytes) + ph.forwardAfter;
+            when = link.occupy(when, afa::sim::Bytes{bytes}) +
+                ph.forwardAfter;
         }
     }
     hop(src, dst, bytes, std::move(on_delivered), beginChain(), enter);
@@ -574,7 +577,8 @@ Fabric::cutReservations(std::size_t link_idx, std::size_t pos,
         const Reservation &e = resv[q];
         FlightRecord &rec = flights[e.rec];
         assert(rec.active && "reservation owned by a free record");
-        links[link_idx].unoccupy(e.prevHorizon, rec.bytes);
+        links[link_idx].unoccupy(e.prevHorizon,
+                                 afa::sim::Bytes{rec.bytes});
         if (!rec.displaced) {
             rec.displaced = true;
             rec.displacedHop = e.hop;
@@ -749,7 +753,7 @@ Fabric::markEndpoint(NodeId node)
     nodeOrder[node] = 2 + node;
 }
 
-Tick
+afa::sim::TickDelta
 Fabric::minPropagation() const
 {
     Tick min_prop = 0;
@@ -757,7 +761,7 @@ Fabric::minPropagation() const
         const Tick p = link.params().propagation;
         min_prop = min_prop == 0 ? p : std::min(min_prop, p);
     }
-    return min_prop;
+    return afa::sim::TickDelta{static_cast<std::int64_t>(min_prop)};
 }
 
 Tick
@@ -780,7 +784,8 @@ Fabric::unloadedLatency(NodeId src, NodeId dst,
     for (std::uint32_t i = first; i != last; ++i) {
         const PathHop &ph = pathHops[i];
         const Link &link = links[ph.link];
-        total += link.serialization(bytes) + link.params().propagation +
+        total += link.serialization(afa::sim::Bytes{bytes}) +
+            link.params().propagation +
             ph.forwardAfter;
     }
     return total;

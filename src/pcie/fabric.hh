@@ -182,7 +182,7 @@ class Fabric : public afa::sim::SimObject
      * the conservative lookahead horizon for sharded execution: no
      * cross-fabric effect travels faster than one link flight.
      */
-    Tick minPropagation() const;
+    afa::sim::TickDelta minPropagation() const;
 
     /** Attach (or detach, with nullptr) the span log. */
     void setSpanLog(afa::obs::SpanLog *log) { spanLog = log; }

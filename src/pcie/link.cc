@@ -30,19 +30,18 @@ Link::Link(std::string link_name, const LinkParams &params)
 }
 
 Tick
-Link::serialization(std::uint32_t bytes) const
+Link::serialization(Bytes bytes) const
 {
-    double secs = static_cast<double>(bytes) / cachedBytesPerSec;
-    return static_cast<Tick>(secs * 1e9);
+    return afa::sim::transferTicks(bytes, cachedBytesPerSec);
 }
 
 Tick
-Link::transfer(Tick now, std::uint32_t bytes)
+Link::transfer(Tick now, Bytes bytes)
 {
     Tick start = std::max(now, busyHorizon);
     Tick ser = serialization(bytes);
     busyHorizon = start + ser;
-    totalBytes += bytes;
+    totalBytes += bytes.count();
     ++totalTransfers;
     totalBusy += ser;
     totalQueueDelay += start - now;
@@ -50,22 +49,22 @@ Link::transfer(Tick now, std::uint32_t bytes)
 }
 
 Tick
-Link::occupy(Tick entry, std::uint32_t bytes)
+Link::occupy(Tick entry, Bytes bytes)
 {
     assert(freeAt(entry) && "occupy() on a busy link");
     return transfer(entry, bytes);
 }
 
 void
-Link::unoccupy(Tick prev_horizon, std::uint32_t bytes)
+Link::unoccupy(Tick prev_horizon, Bytes bytes)
 {
     assert(prev_horizon <= busyHorizon &&
            "unoccupy() would advance the busy horizon");
     Tick ser = serialization(bytes);
-    assert(totalTransfers > 0 && totalBytes >= bytes &&
+    assert(totalTransfers > 0 && totalBytes >= bytes.count() &&
            totalBusy >= ser && "unoccupy() without matching occupy()");
     busyHorizon = prev_horizon;
-    totalBytes -= bytes;
+    totalBytes -= bytes.count();
     --totalTransfers;
     totalBusy -= ser;
 }

@@ -19,6 +19,7 @@
 
 namespace afa::pcie {
 
+using afa::sim::Bytes;
 using afa::sim::Tick;
 
 /** PCIe generation (per-lane effective data rate). */
@@ -52,7 +53,7 @@ class Link
      * @return the tick at which the last byte (plus propagation) has
      *         arrived at the far end.
      */
-    Tick transfer(Tick now, std::uint32_t bytes);
+    Tick transfer(Tick now, Bytes bytes);
 
     /**
      * True when a transfer entering at @p when would start serialising
@@ -68,7 +69,7 @@ class Link
      * transfer(entry, bytes); the separate name documents the fabric
      * fast path's contract that no queueing occurs.
      */
-    Tick occupy(Tick entry, std::uint32_t bytes);
+    Tick occupy(Tick entry, Bytes bytes);
 
     /**
      * Revoke an occupy() whose reservation has not started: restore
@@ -79,10 +80,10 @@ class Link
      * reservation list); occupy() charged zero queue delay, so there
      * is none to undo.
      */
-    void unoccupy(Tick prev_horizon, std::uint32_t bytes);
+    void unoccupy(Tick prev_horizon, Bytes bytes);
 
     /** Serialization time for @p bytes without queueing. */
-    Tick serialization(std::uint32_t bytes) const;
+    Tick serialization(Bytes bytes) const;
 
     /** Time the link becomes free. */
     Tick busyUntil() const { return busyHorizon; }

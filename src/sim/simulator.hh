@@ -73,16 +73,25 @@ class Simulator
     }
 
     /**
-     * Set the conservative lookahead horizon in ticks. Must be
-     * positive before a sharded run(); cross-shard posts must be at
-     * least this far in the future. The model derives it from its
-     * minimum cross-shard latency (the PCIe fabric's minimum link
-     * propagation delay).
+     * Set the conservative lookahead horizon. Must be positive before
+     * a sharded run(); cross-shard posts must be at least this far in
+     * the future. The model derives it from its minimum cross-shard
+     * latency (the PCIe fabric's minimum link propagation delay). A
+     * horizon is a span of simulated time, not an absolute time, so
+     * the API speaks TickDelta.
      */
-    void setLookahead(Tick ticks) { lookaheadTicks = ticks; }
+    void
+    setLookahead(TickDelta horizon)
+    {
+        lookaheadTicks = static_cast<Tick>(horizon.count());
+    }
 
-    /** The conservative sync horizon (0 = never set). */
-    Tick lookahead() const { return lookaheadTicks; }
+    /** The conservative sync horizon (zero = never set). */
+    TickDelta
+    lookahead() const
+    {
+        return TickDelta{static_cast<std::int64_t>(lookaheadTicks)};
+    }
 
     /** Current simulated time on the calling thread's shard. */
     Tick now() const { return localShard().clock; }

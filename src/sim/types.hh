@@ -7,6 +7,7 @@
 #ifndef AFA_SIM_TYPES_HH
 #define AFA_SIM_TYPES_HH
 
+#include <compare>
 #include <cstdint>
 #include <limits>
 
@@ -42,6 +43,110 @@ constexpr double toUsec(Tick t) { return static_cast<double>(t) / kUsec; }
 constexpr double toMsec(Tick t) { return static_cast<double>(t) / kMsec; }
 /** Convert ticks to (fractional) seconds. */
 constexpr double toSec(Tick t) { return static_cast<double>(t) / kSec; }
+
+// ---------------------------------------------------------------------
+// Strong unit wrappers.
+//
+// Tick stays a bare integer for queue/clock arithmetic, but interface
+// parameters that are *not* absolute sim times should not be: a byte
+// count, a duration, or a host wall-clock delta silently converts
+// into Tick otherwise. TickDelta and Bytes are explicit-construction
+// wrappers for those quantities; the only sanctioned crossings between
+// the unit domains are the named helpers in this header, which the
+// tick-units rule of tools/detlint/detlint_ast.py allowlists (see
+// DESIGN.md "Static-analysis contract").
+// ---------------------------------------------------------------------
+
+/**
+ * A signed span of simulated time (a difference of Ticks): lookahead
+ * horizons, propagation delays, backoff windows. Signed so that
+ * "earlier - later" stays representable during interval arithmetic.
+ */
+struct TickDelta
+{
+    std::int64_t ticks = 0;
+
+    TickDelta() = default;
+    explicit constexpr TickDelta(std::int64_t t) : ticks(t) {}
+
+    /** The span in integer nanosecond ticks. */
+    constexpr std::int64_t count() const { return ticks; }
+
+    constexpr bool operator==(const TickDelta &) const = default;
+    constexpr auto operator<=>(const TickDelta &) const = default;
+
+    constexpr TickDelta operator+(TickDelta o) const
+    {
+        return TickDelta{ticks + o.ticks};
+    }
+    constexpr TickDelta operator-(TickDelta o) const
+    {
+        return TickDelta{ticks - o.ticks};
+    }
+    constexpr TickDelta operator-() const { return TickDelta{-ticks}; }
+};
+
+/** The span from @p earlier to @p later (negative if reversed). */
+constexpr TickDelta
+delta(Tick later, Tick earlier)
+{
+    return TickDelta{static_cast<std::int64_t>(later) -
+                     static_cast<std::int64_t>(earlier)};
+}
+
+/** Advance an absolute time by a span. */
+constexpr Tick
+operator+(Tick t, TickDelta d)
+{
+    return t + static_cast<Tick>(d.count());
+}
+
+/** Rewind an absolute time by a span. */
+constexpr Tick
+operator-(Tick t, TickDelta d)
+{
+    return t - static_cast<Tick>(d.count());
+}
+
+/**
+ * A payload size. Distinct from Tick so byte counts cannot flow into
+ * time arithmetic except through an explicit rate conversion.
+ */
+struct Bytes
+{
+    std::uint64_t n = 0;
+
+    Bytes() = default;
+    explicit constexpr Bytes(std::uint64_t count) : n(count) {}
+
+    /** The size in bytes. */
+    constexpr std::uint64_t count() const { return n; }
+
+    constexpr bool operator==(const Bytes &) const = default;
+    constexpr auto operator<=>(const Bytes &) const = default;
+
+    constexpr Bytes operator+(Bytes o) const { return Bytes{n + o.n}; }
+    constexpr Bytes operator-(Bytes o) const { return Bytes{n - o.n}; }
+    constexpr Bytes &
+    operator+=(Bytes o)
+    {
+        n += o.n;
+        return *this;
+    }
+};
+
+/**
+ * The sanctioned Bytes -> time crossing: serialization time of
+ * @p payload at @p bytes_per_sec. Mirrors the hand-rolled
+ * bytes / rate * 1e9 conversions it replaced exactly (same division
+ * and multiplication order) so figures stay bit-identical.
+ */
+constexpr Tick
+transferTicks(Bytes payload, double bytes_per_sec)
+{
+    return static_cast<Tick>(
+        static_cast<double>(payload.count()) / bytes_per_sec * 1e9);
+}
 
 } // namespace afa::sim
 

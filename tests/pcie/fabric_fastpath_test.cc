@@ -373,7 +373,7 @@ TEST_F(FabricFastPathTest, MidPathContentionFallsBackAtSharedUplink)
     sim.run();
     ASSERT_EQ(arrivals.size(), 2u);
     const Link *up = f.linkBetween(sw, host);
-    EXPECT_EQ(arrivals[1] - arrivals[0], up->serialization(4096));
+    EXPECT_EQ(arrivals[1] - arrivals[0], up->serialization(afa::sim::Bytes{4096}));
     EXPECT_EQ(f.stats().fastPathPackets, 1u);
     EXPECT_EQ(f.stats().fallbackPackets, 1u);
     EXPECT_GT(f.stats().totalQueueDelay, 0u);

@@ -32,21 +32,21 @@ TEST_F(LinkTest, SerializationScalesWithBytesAndLanes)
     Link x4("x4", LinkParams{4, Gen::Gen3, 0});
     Link x16("x16", LinkParams{16, Gen::Gen3, 0});
     // x16 carries the same payload 4x faster.
-    EXPECT_NEAR(static_cast<double>(x4.serialization(4096)),
-                4.0 * static_cast<double>(x16.serialization(4096)),
+    EXPECT_NEAR(static_cast<double>(x4.serialization(afa::sim::Bytes{4096})),
+                4.0 * static_cast<double>(x16.serialization(afa::sim::Bytes{4096})),
                 2.0);
     // 4 KiB on x4 Gen3 (~3.2 GB/s effective) ~ 1.28 us.
-    EXPECT_NEAR(afa::sim::toUsec(x4.serialization(4096)), 1.28, 0.05);
+    EXPECT_NEAR(afa::sim::toUsec(x4.serialization(afa::sim::Bytes{4096})), 1.28, 0.05);
 }
 
 TEST_F(LinkTest, TransfersQueueFifo)
 {
     Link l("l", LinkParams{4, Gen::Gen3, 100});
-    Tick ser = l.serialization(4096);
-    Tick first = l.transfer(0, 4096);
+    Tick ser = l.serialization(afa::sim::Bytes{4096});
+    Tick first = l.transfer(0, afa::sim::Bytes{4096});
     EXPECT_EQ(first, ser + 100);
     // Second transfer issued at t=0 queues behind the first.
-    Tick second = l.transfer(0, 4096);
+    Tick second = l.transfer(0, afa::sim::Bytes{4096});
     EXPECT_EQ(second, 2 * ser + 100);
     EXPECT_EQ(l.queueDelay(), ser);
     EXPECT_EQ(l.bytesCarried(), 8192u);
@@ -56,10 +56,10 @@ TEST_F(LinkTest, TransfersQueueFifo)
 TEST_F(LinkTest, IdleLinkDoesNotQueue)
 {
     Link l("l", LinkParams{4, Gen::Gen3, 100});
-    l.transfer(0, 4096);
+    l.transfer(0, afa::sim::Bytes{4096});
     Tick later = l.busyUntil() + usec(5);
-    Tick arrive = l.transfer(later, 4096);
-    EXPECT_EQ(arrive, later + l.serialization(4096) + 100);
+    Tick arrive = l.transfer(later, afa::sim::Bytes{4096});
+    EXPECT_EQ(arrive, later + l.serialization(afa::sim::Bytes{4096}) + 100);
     EXPECT_EQ(l.queueDelay(), 0u);
 }
 
@@ -112,9 +112,9 @@ TEST_F(FabricTest, RoutesThroughSwitches)
     EXPECT_EQ(delivered, f.unloadedLatency(a, b, 4096));
     // Store-and-forward: both switch forward latencies included.
     Tick expect = 0;
-    expect += f.linkBetween(a, s1)->serialization(4096) + 100 + 300;
-    expect += f.linkBetween(s1, s2)->serialization(4096) + 100 + 300;
-    expect += f.linkBetween(s2, b)->serialization(4096) + 100;
+    expect += f.linkBetween(a, s1)->serialization(afa::sim::Bytes{4096}) + 100 + 300;
+    expect += f.linkBetween(s1, s2)->serialization(afa::sim::Bytes{4096}) + 100 + 300;
+    expect += f.linkBetween(s2, b)->serialization(afa::sim::Bytes{4096}) + 100;
     EXPECT_EQ(delivered, expect);
 }
 
@@ -180,7 +180,7 @@ TEST_F(FabricTest, SharedUplinkContentionDelaysSecondFlow)
     sim.run();
     ASSERT_EQ(arrivals.size(), 2u);
     const Link *up = f.linkBetween(sw, host);
-    EXPECT_EQ(arrivals[1] - arrivals[0], up->serialization(4096));
+    EXPECT_EQ(arrivals[1] - arrivals[0], up->serialization(afa::sim::Bytes{4096}));
     EXPECT_GT(f.stats().totalQueueDelay, 0u);
 }
 

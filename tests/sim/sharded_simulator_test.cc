@@ -51,7 +51,7 @@ TEST_F(ShardedSimulatorTest, ShardedRunRequiresLookahead)
 TEST_F(ShardedSimulatorTest, CrossPostDeliversOnTargetShard)
 {
     Simulator sim(1, 2);
-    sim.setLookahead(10);
+    sim.setLookahead(afa::sim::TickDelta{10});
     unsigned fired_on = 99;
     Tick fired_at = 0;
     sim.scheduleAt(5, [&] {
@@ -68,7 +68,7 @@ TEST_F(ShardedSimulatorTest, CrossPostDeliversOnTargetShard)
 TEST_F(ShardedSimulatorTest, CrossPostInsideWindowPanics)
 {
     Simulator sim(1, 2);
-    sim.setLookahead(100);
+    sim.setLookahead(afa::sim::TickDelta{100});
     bool threw = false;
     sim.scheduleAt(5, [&] {
         // 5 + 99 < 5 + lookahead: violates the conservative horizon.
@@ -88,7 +88,7 @@ TEST_F(ShardedSimulatorTest, SetupTimePostsBypassTheHorizon)
     // Outside the parallel phase the direct path applies: posts may
     // be arbitrarily near (the windows haven't started).
     Simulator sim(1, 4);
-    sim.setLookahead(1000);
+    sim.setLookahead(afa::sim::TickDelta{1000});
     bool fired = false;
     sim.scheduleOnShard(3, 1, [&] { fired = true; });
     sim.run();
@@ -98,7 +98,7 @@ TEST_F(ShardedSimulatorTest, SetupTimePostsBypassTheHorizon)
 TEST_F(ShardedSimulatorTest, InternalEventsAreNotCounted)
 {
     Simulator sim(1, 2);
-    sim.setLookahead(10);
+    sim.setLookahead(afa::sim::TickDelta{10});
     int fired = 0;
     sim.scheduleAt(5, [&] {
         ++fired;
@@ -131,7 +131,7 @@ TEST_F(ShardedSimulatorTest, InternalDiscountMatchesSerial)
 TEST_F(ShardedSimulatorTest, CrossCancelBeforeDelivery)
 {
     Simulator sim(1, 2);
-    sim.setLookahead(10);
+    sim.setLookahead(afa::sim::TickDelta{10});
     bool fired = false;
     sim.scheduleAt(5, [&] {
         EventHandle h = sim.scheduleOnShard(1, 200, [&] {
@@ -149,7 +149,7 @@ TEST_F(ShardedSimulatorTest, CrossCancelBeforeDelivery)
 TEST_F(ShardedSimulatorTest, ReclaimReturnsTheCallback)
 {
     Simulator sim(1, 2);
-    sim.setLookahead(10);
+    sim.setLookahead(afa::sim::TickDelta{10});
     int where = 0;
     sim.scheduleAt(5, [&] {
         EventHandle h = sim.scheduleOnShard(1, 200, [&] { where = 1; });
@@ -197,7 +197,7 @@ TEST_F(ShardedSimulatorTest, BandOrderIsIdenticalAcrossShardCounts)
     // at any shard count, regardless of which mailbox drained first.
     for (unsigned shards : {1u, 2u, 3u}) {
         Simulator sim(1, shards);
-        sim.setLookahead(10);
+        sim.setLookahead(afa::sim::TickDelta{10});
         std::string order;
         {
             ShardScope scope(sim, shards > 1 ? 1 : 0);
@@ -221,7 +221,7 @@ TEST_F(ShardedSimulatorTest, BandOrderIsIdenticalAcrossShardCounts)
 TEST_F(ShardedSimulatorTest, ClockEqualisedAfterBoundedRun)
 {
     Simulator sim(1, 3);
-    sim.setLookahead(10);
+    sim.setLookahead(afa::sim::TickDelta{10});
     {
         ShardScope scope(sim, 1);
         sim.scheduleAt(100, [] {});
@@ -247,7 +247,7 @@ std::vector<std::pair<unsigned, Tick>>
 pingPong(unsigned shard_count)
 {
     Simulator sim(7, shard_count);
-    sim.setLookahead(25);
+    sim.setLookahead(afa::sim::TickDelta{25});
     std::vector<std::pair<unsigned, Tick>> log;
     const unsigned a = 0;
     const unsigned b = shard_count > 1 ? 1 : 0;
@@ -291,7 +291,7 @@ TEST_F(ShardedSimulatorTest, PingPongIsDeterministicAcrossShardCounts)
 TEST_F(ShardedSimulatorTest, RunStepsAgreesWithRunOnEventTimes)
 {
     auto build = [](Simulator &sim, std::vector<Tick> &ticks) {
-        sim.setLookahead(10);
+        sim.setLookahead(afa::sim::TickDelta{10});
         ShardScope scope(sim, 1);
         sim.scheduleAt(5, [&sim, &ticks] {
             ticks.push_back(sim.now());

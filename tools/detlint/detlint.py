@@ -50,9 +50,15 @@ audited globals are the template).
 Usage:
   detlint.py [--root DIR] [--list-rules] [paths...]
 
-Paths default to the simulator directories (src/sim, src/nvme,
-src/pcie, src/host, src/raid, src/workload, src/nand). Diagnostics are
+Paths default to the whole simulator tree: every library directory
+under src/ plus bench/ (the figure drivers feed published results, so
+they obey the same determinism contract). Diagnostics are
 `file:line: rule: message`; exit status is 1 if any fire.
+
+detlint is the fast no-toolchain fallback; detlint_ast.py (same rules
+plus semantic-only ones, same allow grammar) is the authoritative
+analyzer when libclang is available. See DESIGN.md "Static-analysis
+contract".
 """
 
 import argparse
@@ -62,13 +68,17 @@ import sys
 
 DEFAULT_PATHS = [
     "src/sim",
+    "src/core",
     "src/fault",
     "src/nvme",
     "src/pcie",
     "src/host",
+    "src/obs",
     "src/raid",
+    "src/stats",
     "src/workload",
     "src/nand",
+    "bench",
 ]
 
 SOURCE_EXTENSIONS = (".cc", ".hh", ".cpp", ".hpp", ".h")
@@ -140,13 +150,34 @@ RANGE_FOR_RE = re.compile(r"for\s*\([^;()]*?:\s*&?([\w.>\-]+)\s*\)")
 BEGIN_CALL_RE = re.compile(r"(\w+)\s*\.\s*(?:begin|cbegin)\s*\(\s*\)")
 
 
+RAW_STRING_OPEN_RE = re.compile(r'R"([^ ()\\\t\v\f\n]{0,16})\(')
+
+
 def strip_comments_and_strings(text):
     """Blank out comments and string/char literals, preserving the
     character count and line structure so offsets keep mapping to the
-    original file."""
+    original file.
+
+    Two constructs need care beyond the classic four-state scanner:
+
+      - C++14 digit separators: the apostrophe in 1'000'000 is part
+        of the number, not a char literal. Treating it as one flips
+        the scanner into char-literal state mid-number; the state
+        desync then blanks real code and un-blanks real comments,
+        producing both false negatives and false positives (a comment
+        mentioning std::rand() after such a literal used to fire the
+        rand rule -- see fixtures/clean_separators.cc).
+
+      - Raw string literals: R"(...)" contents follow no escape rules
+        and may span lines; a backslash before the closing quote must
+        not be treated as an escape, and the terminator is )delim",
+        not a bare quote.
+    """
     out = []
     i, n = 0, len(text)
     state = "code"
+    raw_term = ""  # the )delim" terminator of the open raw string
+    prev_code = ""  # last non-blanked character emitted in code state
     while i < n:
         c = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
@@ -159,16 +190,39 @@ def strip_comments_and_strings(text):
                 state = "block-comment"
                 out.append("  ")
                 i += 2
+            elif c == "R" and nxt == '"' and \
+                    not (prev_code.isalnum() or prev_code == "_"):
+                m = RAW_STRING_OPEN_RE.match(text, i)
+                if m:
+                    state = "raw-string"
+                    raw_term = ')%s"' % m.group(1)
+                    out.append(" " * len(m.group(0)))
+                    i = m.end()
+                else:
+                    out.append(c)
+                    prev_code = c
+                    i += 1
             elif c == '"':
                 state = "string"
                 out.append(" ")
                 i += 1
             elif c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
+                # A digit separator (1'000'000, 0xff'ff) continues the
+                # preceding pp-number: it can only follow a digit (or
+                # hex digit). Any other preceding character -- incl.
+                # the L/u/U encoding prefixes, which are why plain
+                # isalnum() would be wrong -- opens a char literal.
+                if prev_code in "0123456789abcdefABCDEF":
+                    out.append(" ")
+                    i += 1
+                else:
+                    state = "char"
+                    out.append(" ")
+                    i += 1
             else:
                 out.append(c)
+                if not c.isspace():
+                    prev_code = c
                 i += 1
         elif state == "line-comment":
             if c == "\n":
@@ -185,9 +239,20 @@ def strip_comments_and_strings(text):
             else:
                 out.append(c if c == "\n" else " ")
                 i += 1
+        elif state == "raw-string":
+            # No escapes inside a raw string; it ends only at its
+            # )delim" terminator.
+            if text.startswith(raw_term, i):
+                state = "code"
+                out.append(" " * len(raw_term))
+                i += len(raw_term)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
         else:  # string or char literal
             if c == "\\":
-                out.append("  ")
+                out.append(" ")
+                out.append(nxt if nxt == "\n" else " ")
                 i += 2
             elif (state == "string" and c == '"') or \
                  (state == "char" and c == "'"):

@@ -32,6 +32,7 @@ EXPECTATIONS = {
     "bad_shard_state.cc": {"shard-state": 3},
     "allowed.cc": {},
     "clean.cc": {},
+    "clean_separators.cc": {},
 }
 
 

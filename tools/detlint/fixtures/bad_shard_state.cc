@@ -23,8 +23,8 @@ bad(afa::nvme::Controller *ctrl, afa::nvme::Controller &ref,
                         /*internal=*/true, /*order=*/1);
     sim.scheduleOnShard(
         2, 6000,
-        [&ref] {
-            ref.setOffline(false);
+        [r = &ref] {
+            r->setOffline(false);
         });
 
     // Provably shard-affine call site, audited by hand:

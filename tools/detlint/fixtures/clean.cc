@@ -17,7 +17,7 @@ const std::map<std::string, int> kLatencyClasses = {
 // Comments may mention std::rand(), time(nullptr) or
 // steady_clock::now() without tripping the linter, and so may
 // strings:
-const char *kBanner = "no rand() or clock() here";
+const char *const kBanner = "no rand() or clock() here";
 
 std::uint64_t
 splitmix(std::uint64_t &state)

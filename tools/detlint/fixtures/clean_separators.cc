@@ -1,0 +1,43 @@
+// Regression fixture for the literal-scanner bugs fixed alongside the
+// AST analyzer (PR 7). Every construct here previously desynchronised
+// strip_comments_and_strings() and produced a false diagnostic; the
+// file must lint clean.
+//
+// Compiled by the AST parity test too, so it must be valid C++.
+
+#include <cstdint>
+
+namespace afa::sim {
+
+unsigned long use(unsigned long v);
+
+void
+pace()
+{
+    // A digit separator used to flip the scanner into char-literal
+    // state; the comment on the next line was then parsed as code and
+    // its std::rand() mention fired the rand rule.
+    unsigned long budget = 1'000;
+    // it's a paced budget: std::rand() stays banned in sim code
+    use(budget);
+
+    // Separators in hex literals, and more than one per line.
+    unsigned long mask = 0xff'ff'ff'ffUL;
+    unsigned long window = 1'000'000 + mask;
+    use(window);
+}
+
+// Raw strings follow no escape rules: the trailing backslash below is
+// a literal character, not an escape over the closing quote. Both
+// banned-token mentions inside raw strings must stay invisible.
+constexpr const char *kHelp =
+    R"(wall-clock words like system_clock::now and std::rand( are fine here)";
+constexpr const char *kPath = R"(C:\sim\)";
+constexpr const char *kDelim = R"x(quote " and )" inside)x";
+
+// A wide char literal after an identifier-like prefix must still open
+// a char literal (L is not a digit separator context); the paren in
+// it must not unbalance anything.
+constexpr wchar_t kParen = L'(';
+
+} // namespace afa::sim

@@ -1,0 +1,60 @@
+// AST fixture: lambdas posted through scheduleOnShard() that capture
+// by reference must trigger `shard-capture` (twice here). The post
+// fires in a later barrier window, possibly on another thread, so a
+// by-reference capture is both a dangling-stack hazard and a
+// cross-shard mutation channel. Value captures (including captured
+// pointers, whose *uses* are policed by shard-state) are the idiom
+// and must not fire.
+
+#include <cstdint>
+#include <utility>
+
+namespace afa::fixture {
+
+struct Controller
+{
+    void poke(int v);
+};
+
+struct Simulator
+{
+    template <typename Fn>
+    void scheduleOnShard(unsigned shard, std::uint64_t when, Fn &&fn)
+    {
+        pending = static_cast<bool>(shard + when);
+        std::forward<Fn>(fn)();
+    }
+    bool pending = false;
+};
+
+void
+post(Simulator &sim, Controller *ctrl)
+{
+    int burst = 4;
+
+    // Named by-reference capture: fires.
+    sim.scheduleOnShard(1, 1000, [&burst] { (void)burst; });
+
+    // Default by-reference capture: fires.
+    sim.scheduleOnShard(1, 2000, [&] { ctrl->poke(burst); });
+
+    // Value captures, captured this-pointers and init-captures of
+    // pointers are the sanctioned idiom: none of these fire.
+    sim.scheduleOnShard(1, 3000, [ctrl, burst] { ctrl->poke(burst); });
+    sim.scheduleOnShard(1, 4000, [c = ctrl] { c->poke(0); });
+}
+
+struct Engine
+{
+    Simulator *sim = nullptr;
+    Controller *ctrl = nullptr;
+
+    void
+    apply()
+    {
+        // [this, ...] value captures: must not fire.
+        sim->scheduleOnShard(2, 5000, [this] { ctrl->poke(1); });
+    }
+};
+
+} // namespace afa::fixture

@@ -1,0 +1,51 @@
+// AST fixture: a span-begin tick (a local initialised from now())
+// that reaches SpanLog::record() on some control-flow paths but not
+// on all of them must trigger `span-pairing` (twice here): the
+// uncovered paths silently drop the span from the trace.
+
+#include <cstdint>
+
+namespace afa::sim {
+using Tick = std::uint64_t;
+Tick now();
+} // namespace afa::sim
+
+namespace afa::obs {
+
+enum class Stage { SmartStall, RetryWait };
+
+struct SpanLog
+{
+    void record(Stage stage, std::uint64_t io, afa::sim::Tick begin,
+                afa::sim::Tick end, int track);
+    bool wants(int category) const;
+};
+
+} // namespace afa::obs
+
+namespace afa::fixture {
+
+// Early return drops the span: fires at the `return 1`.
+int
+earlyReturnDrops(afa::obs::SpanLog *log, std::uint64_t io, bool fast)
+{
+    const afa::sim::Tick begin = afa::sim::now();
+    if (fast)
+        return 1;
+    log->record(afa::obs::Stage::SmartStall, io, begin,
+                afa::sim::now(), 0);
+    return 0;
+}
+
+// Only the taken branch records; the fall-through path drops the
+// span: fires at the end of the function body.
+void
+oneBranchRecords(afa::obs::SpanLog *log, std::uint64_t io, bool hit)
+{
+    const afa::sim::Tick begin = afa::sim::now();
+    if (hit)
+        log->record(afa::obs::Stage::RetryWait, io, begin,
+                    afa::sim::now(), 1);
+}
+
+} // namespace afa::fixture

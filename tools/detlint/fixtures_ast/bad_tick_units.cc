@@ -1,0 +1,58 @@
+// AST fixture: arithmetic mixing the Tick alias with floating-point
+// operands, and floating variables initialised straight from a Tick,
+// must trigger `tick-units` (three times here). Explicit casts and
+// the conversion-helper function names are the sanctioned crossings
+// and must not fire.
+
+#include <cstdint>
+
+namespace afa::sim {
+using Tick = std::uint64_t;
+} // namespace afa::sim
+
+namespace afa::fixture {
+
+double
+leakyLatency(afa::sim::Tick completion, afa::sim::Tick submit)
+{
+    // Implicit Tick -> double initialisation: fires.
+    double started = submit;
+
+    // Tick multiplied by a floating literal: fires.
+    double weighted = completion * 0.5;
+
+    double drift = 1.25;
+    // Floating compound assignment onto a Tick-valued RHS... the
+    // other direction: Tick-typed LHS accumulated with a double RHS
+    // also mixes domains: fires.
+    afa::sim::Tick padded = completion;
+    padded += drift;
+
+    return started + weighted + static_cast<double>(padded);
+}
+
+// The explicit-cast opt-out: the author states the unit crossing on
+// purpose, so none of these fire.
+double
+sanctioned(afa::sim::Tick t)
+{
+    double usec = static_cast<double>(t) / 1000.0;
+    double scaled = double(t) * 0.001;
+    return usec + scaled;
+}
+
+// Conversion helpers mirroring src/sim/types.hh are allowlisted by
+// name: must not fire even though they mix domains without a cast.
+constexpr double
+toUsec(afa::sim::Tick t)
+{
+    return t / 1000.0;
+}
+
+double
+useHelper(afa::sim::Tick t)
+{
+    return toUsec(t);
+}
+
+} // namespace afa::fixture

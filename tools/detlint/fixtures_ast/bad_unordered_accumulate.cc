@@ -1,0 +1,55 @@
+// AST fixture: floating-point reduction inside a range-for over an
+// unordered container must trigger `unordered-accumulate` (once).
+// Float addition is not associative, so the sum depends on
+// hash-order. The unordered range-fors themselves also trigger the
+// ported `unordered-iteration` rule (twice) — the integer reduction
+// proves the accumulate rule itself stays quiet for exact arithmetic.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace afa::fixture {
+
+using LatencyMap = std::unordered_map<std::uint64_t, double>;
+
+double
+hashOrderSum(const LatencyMap &latencies)
+{
+    double total = 0.0;
+    // Fires unordered-accumulate (and unordered-iteration).
+    for (const auto &entry : latencies)
+        total += entry.second;
+    return total;
+}
+
+std::uint64_t
+integerSum(const LatencyMap &latencies)
+{
+    std::uint64_t count = 0;
+    // Integer accumulation is exact, hence order-insensitive: only
+    // the ported unordered-iteration rule fires here.
+    for (const auto &entry : latencies)
+        count += static_cast<std::uint64_t>(entry.first);
+    return count;
+}
+
+double
+sortedCopySum(const LatencyMap &latencies)
+{
+    // The sanctioned idiom: accumulate over a sorted key copy. Must
+    // not fire anything.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(latencies.size());
+    for (std::uint64_t k = 0; k < 4; ++k)
+        if (latencies.count(k) != 0)
+            keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    double total = 0.0;
+    for (std::uint64_t k : keys)
+        total += latencies.at(k);
+    return total;
+}
+
+} // namespace afa::fixture
