@@ -43,6 +43,10 @@
  *   --attribution     print the per-stage latency attribution table
  *                     under every figure (implies --trace all when
  *                     --trace is absent)
+ *   --device-fastpath B  single-event device command fast path
+ *                     (default 1). 0 forces the chained event model;
+ *                     results are bit-identical, only slower -- the
+ *                     A/B is the exactness check (DESIGN.md §9)
  */
 
 #ifndef AFA_BENCH_COMMON_HH
@@ -106,6 +110,7 @@ parseOptions(int argc, char **argv)
         p.traceMask = afa::obs::parseCategories(trace);
     opts.traceOutPath = cfg.getString("trace_out", "");
     opts.attribution = cfg.getBool("attribution", false);
+    p.deviceFastPath = cfg.getBool("device_fastpath", true);
     std::string fault_path = cfg.getString("faults", "");
     if (!fault_path.empty())
         p.faults = std::make_shared<afa::fault::FaultPlan>(
@@ -239,7 +244,7 @@ reportFigure(const char *figure, const char *caption,
         std::printf("\nlatency attribution (all runs):\n");
         printTable(result.attribution.table(), opts.csv);
         const auto &m = result.systemMetrics;
-        if (!m.empty())
+        if (!m.empty()) {
             std::printf("fabric: %llu fast-path / %llu fallback "
                         "packets; %llu span drops\n",
                         (unsigned long long)m.counter(
@@ -247,6 +252,13 @@ reportFigure(const char *figure, const char *caption,
                         (unsigned long long)m.counter(
                             "fabric.fallback_packets"),
                         (unsigned long long)result.spanDrops);
+            std::printf("nvme: %llu fast-path / %llu fallback "
+                        "commands\n",
+                        (unsigned long long)m.counter(
+                            "nvme.fast_path_commands"),
+                        (unsigned long long)m.counter(
+                            "nvme.fallback_commands"));
+        }
     }
     if (!opts.traceOutPath.empty() && !result.spans.empty()) {
         // Benches reporting several figures overwrite the file; the

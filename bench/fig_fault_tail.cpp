@@ -116,6 +116,7 @@ main(int argc, char **argv)
     sys_params.kernel.irq.irqBalanceInterval =
         opts.params.irqBalanceInterval;
     sys_params.faults = plan;
+    sys_params.deviceFastPath = opts.params.deviceFastPath;
     AfaSystem system(sim, sys_params);
 
     std::unique_ptr<afa::obs::SpanLog> spanLog;

@@ -10,6 +10,8 @@
 
 #include "core/experiment.hh"
 #include "host/scheduler.hh"
+#include "nand/nand_array.hh"
+#include "nvme/controller.hh"
 #include "pcie/afa_topology.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -218,6 +220,136 @@ BM_FabricSendContended(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FabricSendContended);
+
+/**
+ * One SSD stack driven directly (no fabric, loopback transport): the
+ * device command path that the fast path collapses. Arg(1) runs the
+ * single-event fast path, Arg(0) forces the chained reference model,
+ * so the Arg(1)/Arg(0) ratio is the in-binary A/B -- both sides are
+ * tick-identical by the differential tests, only event count moves.
+ */
+struct DeviceBench
+{
+    afa::sim::Simulator sim{7};
+    afa::nand::NandArray nand;
+    afa::nvme::Controller ctrl;
+    bool done = false;
+    unsigned pending = 0;
+
+    explicit DeviceBench(bool fast_path)
+        : nand(sim, "nand", afa::nand::NandParams{}),
+          ctrl(sim, "nvme0",
+               [] {
+                   afa::nvme::FirmwareConfig fw;
+                   fw.smart.enabled = false;
+                   return fw;
+               }(),
+               nand, afa::nvme::FtlParams{})
+    {
+        ctrl.setFastPath(fast_path);
+        ctrl.setTransport([this](std::uint32_t, std::uint64_t,
+                                 afa::sim::EventFn fn) {
+            sim.scheduleAfter(afa::sim::usec(2), std::move(fn));
+        });
+        ctrl.setCompletionHandler([this](
+                                      const afa::nvme::NvmeCompletion &) {
+            done = true;
+            if (pending != 0)
+                --pending;
+        });
+        ctrl.start();
+        ctrl.ftl().precondition(0.5);
+    }
+
+    void
+    drain()
+    {
+        while (!done)
+            sim.runSteps(1);
+    }
+};
+
+void
+BM_DeviceReadCommand(benchmark::State &state)
+{
+    // QD1 mapped 4 KiB reads: the uncontended hot path of every
+    // random-read figure.
+    DeviceBench d(state.range(0) != 0);
+    const std::uint64_t mapped = d.ctrl.ftl().logicalBlocks() / 2;
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        afa::nvme::NvmeCommand cmd;
+        cmd.cmdId = id;
+        cmd.tag = id;
+        cmd.op = afa::nvme::Op::Read;
+        cmd.lba = (id * 7919) % mapped;
+        cmd.bytes = afa::nvme::kLogicalBlockBytes;
+        ++id;
+        d.done = false;
+        d.ctrl.submit(cmd);
+        d.drain();
+    }
+}
+BENCHMARK(BM_DeviceReadCommand)->Arg(0)->Arg(1);
+
+void
+BM_DeviceWriteCommand(benchmark::State &state)
+{
+    // QD1 random 4 KiB writes: the collapsed write-buffer triple when
+    // the placement is inert, the chained model when it is not (page
+    // programs, GC).
+    DeviceBench d(state.range(0) != 0);
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        afa::nvme::NvmeCommand cmd;
+        cmd.cmdId = id;
+        cmd.tag = id;
+        cmd.op = afa::nvme::Op::Write;
+        cmd.lba = (id * 31) % 256;
+        cmd.bytes = afa::nvme::kLogicalBlockBytes;
+        ++id;
+        d.done = false;
+        d.ctrl.submit(cmd);
+        d.drain();
+    }
+}
+BENCHMARK(BM_DeviceWriteCommand)->Arg(0)->Arg(1);
+
+void
+BM_DeviceCommandContended(benchmark::State &state)
+{
+    // An 8-deep same-tick burst ending in a flush: the flush is
+    // always chained and demotes every in-flight fast command, so
+    // this bounds the demotion + fallback cost the fast path adds to
+    // contended traffic. One iteration = 8 commands + full drain.
+    DeviceBench d(state.range(0) != 0);
+    const std::uint64_t mapped = d.ctrl.ftl().logicalBlocks() / 2;
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        d.pending = 8;
+        for (unsigned b = 0; b < 8; ++b) {
+            afa::nvme::NvmeCommand cmd;
+            cmd.cmdId = id;
+            cmd.tag = id;
+            if (b == 7)
+                cmd.op = afa::nvme::Op::Flush;
+            else if (b == 6) {
+                cmd.op = afa::nvme::Op::Write;
+                cmd.lba = (id * 31) % 256;
+                cmd.bytes = afa::nvme::kLogicalBlockBytes;
+            } else {
+                cmd.op = afa::nvme::Op::Read;
+                cmd.lba = (id * 7919) % mapped;
+                cmd.bytes = afa::nvme::kLogicalBlockBytes;
+            }
+            ++id;
+            d.ctrl.submit(cmd);
+        }
+        while (d.pending != 0)
+            d.sim.runSteps(1);
+    }
+}
+BENCHMARK(BM_DeviceCommandContended)->Arg(0)->Arg(1);
 
 void
 BM_ShardedEventThroughput(benchmark::State &state)

@@ -75,6 +75,7 @@ AfaSystem::AfaSystem(Simulator &simulator, const AfaSystemParams &params,
             sim, afa::sim::strfmt("nvme%u", d), params.firmware,
             *nands.back(), params.ftl, tracer));
         afa::nvme::Controller &ctrl = *ctrls.back();
+        ctrl.setFastPath(params.deviceFastPath);
         ctrl.setQueuePairs(sched->topology().logicalCpus());
         afa::pcie::NodeId dev_node = fabricTopo.ssds[d];
         afa::pcie::NodeId host_node = fabricTopo.host;
@@ -238,6 +239,8 @@ AfaSystem::publishMetrics(afa::obs::MetricsRegistry &registry) const
         ssd.smartStallDelay += cs.smartStallDelay;
         ssd.droppedCommands += cs.droppedCommands;
         ssd.faultStallDelay += cs.faultStallDelay;
+        ssd.fastPathCommands += cs.fastPathCommands;
+        ssd.fallbackCommands += cs.fallbackCommands;
         const afa::nvme::FtlStats &fls = ctrls[d]->ftl().stats();
         ftl.hostReadsMapped += fls.hostReadsMapped;
         ftl.hostWrites += fls.hostWrites;
@@ -258,6 +261,8 @@ AfaSystem::publishMetrics(afa::obs::MetricsRegistry &registry) const
     registry.addCounter("nvme.bytes_written", ssd.bytesWritten);
     registry.addCounter("nvme.hiccups", ssd.hiccups);
     registry.addCounter("nvme.smart_stall_ticks", ssd.smartStallDelay);
+    registry.addCounter("nvme.fast_path_commands", ssd.fastPathCommands);
+    registry.addCounter("nvme.fallback_commands", ssd.fallbackCommands);
     registry.addCounter("smart.collections", smart_collections);
     registry.addCounter("smart.saves", smart_saves);
     registry.addCounter("ftl.host_reads_mapped", ftl.hostReadsMapped);

@@ -52,6 +52,14 @@ struct AfaSystemParams
     /** Section IV-D tuning: pin vectors, stop irqbalance. */
     bool pinIrqAffinity = false;
 
+    /**
+     * Single-event device command fast path (DESIGN.md §9). Off
+     * forces every command through the chained event model; results
+     * are tick-identical either way (the A/B is the exactness check),
+     * only the executed-event count differs.
+     */
+    bool deviceFastPath = true;
+
     /** Bytes of a submission (SQE fetch + doorbell) on the fabric. */
     std::uint32_t sqeBytes = 72;
 

@@ -50,6 +50,7 @@ ExperimentRunner::run(const ExperimentParams &params)
         sys_params.pinIrqAffinity = tuning.pinIrqAffinity;
         sys_params.ftl = params.ftl;
         sys_params.faults = params.faults;
+        sys_params.deviceFastPath = params.deviceFastPath;
         if (!params.backgroundLoad)
             sys_params.background = afa::host::BackgroundParams::none();
         if (params.smartPeriod > 0)

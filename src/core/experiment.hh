@@ -99,6 +99,14 @@ struct ExperimentParams
     std::optional<Run> placementOverride;
 
     /**
+     * Single-event device command fast path (DESIGN.md §9). Off
+     * forces the chained event model on every controller; results
+     * are bit-identical either way, only the executed-event count
+     * (and wall time) differ. The regression suites A/B this knob.
+     */
+    bool deviceFastPath = true;
+
+    /**
      * Span-tracing category mask (obs::Category bits). 0 keeps every
      * instrumentation site disabled: no SpanLog is even constructed,
      * so the run is bit-identical to an untraced build.

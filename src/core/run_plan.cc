@@ -156,6 +156,7 @@ ParallelExperimentRunner::run(const std::vector<RunDescriptor> &plan)
             metrics.index = plan[i].index;
             metrics.label = plan[i].label;
             metrics.events = results[i].simulatedEvents;
+            metrics.ios = results[i].totalIos;
             metrics.wallSeconds = elapsed.count();
             metrics.worker = worker_id;
             metricsLog.record(metrics);

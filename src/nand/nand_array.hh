@@ -94,6 +94,16 @@ class NandArray : public afa::sim::SimObject
               std::uint64_t io = 0);
 
     /**
+     * Claim-only read for the controller's single-event command fast
+     * path: identical die/channel horizon arithmetic, RNG draw, span
+     * and stats as read() with now() == @p start_floor, but no
+     * completion event is scheduled -- the caller folds the returned
+     * data-out tick into its own single completion event.
+     */
+    Tick readAt(const PageAddr &addr, std::uint32_t bytes,
+                Tick start_floor, std::uint64_t io = 0);
+
+    /**
      * Program a page; @p done fires when tProg completes (the
      * returned tick).
      */

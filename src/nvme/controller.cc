@@ -90,13 +90,33 @@ Controller::setLimpFactor(double factor)
     if (factor < 1.0)
         afa::sim::panic("%s: limp factor %.2f < 1", name().c_str(),
                         factor);
+    // In-flight fast reads pre-computed their media window with the
+    // old factor; the reference model applies limp at its finish
+    // tick, so anything not yet past that tick must re-run there.
+    demoteAllFast();
     limp = factor;
 }
 
 void
 Controller::stallUntil(Tick until)
 {
+    demoteAllFast();
     faultStallUntilTick = std::max(faultStallUntilTick, until);
+}
+
+void
+Controller::setOffline(bool offline)
+{
+    demoteAllFast();
+    isOffline = offline;
+}
+
+void
+Controller::setFastPath(bool enabled)
+{
+    if (!enabled)
+        demoteAllFast();
+    fastPathEnabled = enabled;
 }
 
 void
@@ -142,7 +162,7 @@ Controller::throughXfer(Tick ready, afa::sim::Bytes bytes)
 }
 
 Tick
-Controller::sampleHiccup()
+Controller::sampleHiccup(Tick when)
 {
     if (!rng().chance(fwConfig.hiccupProbability))
         return 0;
@@ -151,7 +171,7 @@ Controller::sampleHiccup()
         static_cast<double>(fwConfig.hiccupScale), fwConfig.hiccupShape));
     penalty = std::min(penalty, fwConfig.hiccupCap);
     if (tracer && tracer->enabled("nvme.hiccup"))
-        tracer->record(now(), "nvme.hiccup",
+        tracer->record(when, "nvme.hiccup",
                        afa::sim::strfmt("%s +%.1f us", name().c_str(),
                                         afa::sim::toUsec(penalty)));
     return penalty;
@@ -197,6 +217,40 @@ Controller::submit(const NvmeCommand &cmd)
 }
 
 void
+Controller::finishRead(const NvmeCommand &cmd, Tick hiccup,
+                       Tick media_begin, Tick media_done)
+{
+    Tick xfer_ready = media_done + hiccup;
+    if (limp != 1.0) {
+        // Limping device: the media stage takes `limp` times as
+        // long; charge the excess after the healthy window.
+        Tick extra = static_cast<Tick>(
+            static_cast<double>(media_done - media_begin) *
+            (limp - 1.0));
+        ctrlStats.faultStallDelay += extra;
+        if (extra && spanLog &&
+            spanLog->wants(afa::obs::Category::Fault))
+            spanLog->record(afa::obs::Stage::FaultStall, cmd.tag,
+                            xfer_ready, xfer_ready + extra, spanTrack);
+        xfer_ready += extra;
+    }
+    Tick xfer_done = throughXfer(xfer_ready, afa::sim::Bytes{cmd.bytes});
+    if (spanLog && spanLog->wants(afa::obs::Category::Nvme)) {
+        spanLog->record(afa::obs::Stage::MediaRead, cmd.tag,
+                        media_begin, media_done, spanTrack);
+        spanLog->record(afa::obs::Stage::DeviceXfer, cmd.tag,
+                        xfer_ready, xfer_done, spanTrack);
+    }
+    at(xfer_done, [this, cmd] {
+        ++ctrlStats.readsCompleted;
+        ctrlStats.bytesRead += cmd.bytes;
+        complete(cmd, cmd.bytes + 16, Status::Success);
+    });
+    // The DMA claim is made; later submissions may fast-path again.
+    --chainDepth;
+}
+
+void
 Controller::serveRead(const NvmeCommand &cmd)
 {
     if (cmd.bytes == 0 || cmd.bytes % kLogicalBlockBytes != 0) {
@@ -205,6 +259,12 @@ Controller::serveRead(const NvmeCommand &cmd)
     }
     const std::uint64_t blocks = cmd.bytes / kLogicalBlockBytes;
     Tick pipe_done = throughPipeline(fwConfig.readProcTime, cmd.tag);
+    bool all_mapped = false;
+    if (fastReadEligible(cmd, blocks, all_mapped)) {
+        fastRead(cmd, blocks, pipe_done, all_mapped);
+        return;
+    }
+    fallbackDispatch();
     at(pipe_done, [this, cmd, blocks] {
         // Determine the media path: any mapped block forces NAND.
         bool any_mapped = false;
@@ -215,43 +275,12 @@ Controller::serveRead(const NvmeCommand &cmd)
             }
         Tick hiccup = sampleHiccup();
         Tick media_begin = now();
-        auto finish = [this, cmd, hiccup,
-                       media_begin](Tick media_done) {
-            Tick xfer_ready = media_done + hiccup;
-            if (limp != 1.0) {
-                // Limping device: the media stage takes `limp` times
-                // as long; charge the excess after the healthy window.
-                Tick extra = static_cast<Tick>(
-                    static_cast<double>(media_done - media_begin) *
-                    (limp - 1.0));
-                ctrlStats.faultStallDelay += extra;
-                if (extra && spanLog &&
-                    spanLog->wants(afa::obs::Category::Fault))
-                    spanLog->record(afa::obs::Stage::FaultStall,
-                                    cmd.tag, xfer_ready,
-                                    xfer_ready + extra, spanTrack);
-                xfer_ready += extra;
-            }
-            Tick xfer_done = throughXfer(
-                xfer_ready, afa::sim::Bytes{cmd.bytes});
-            if (spanLog && spanLog->wants(afa::obs::Category::Nvme)) {
-                spanLog->record(afa::obs::Stage::MediaRead, cmd.tag,
-                                media_begin, media_done, spanTrack);
-                spanLog->record(afa::obs::Stage::DeviceXfer, cmd.tag,
-                                xfer_ready, xfer_done, spanTrack);
-            }
-            at(xfer_done, [this, cmd] {
-                ++ctrlStats.readsCompleted;
-                ctrlStats.bytesRead += cmd.bytes;
-                complete(cmd, cmd.bytes + 16, Status::Success);
-            });
-        };
         if (!any_mapped) {
             // FOB zero-fill fast path: no NAND involved.
             Tick media = static_cast<Tick>(rng().lognormal(
                 static_cast<double>(fwConfig.fobReadLatency),
                 fwConfig.fobReadSigma));
-            finish(now() + media);
+            finishRead(cmd, hiccup, media_begin, now() + media);
             return;
         }
         // Mapped: fan out one FTL read per mapped logical block;
@@ -260,14 +289,151 @@ Controller::serveRead(const NvmeCommand &cmd)
         for (std::uint64_t b = 0; b < blocks; ++b)
             if (ftlLayer.isMapped(cmd.lba + b))
                 ++*remaining;
-        auto on_block = [this, finish, remaining] {
+        auto on_block = [this, cmd, hiccup, media_begin, remaining] {
             if (--*remaining == 0)
-                finish(now());
+                finishRead(cmd, hiccup, media_begin, now());
         };
         for (std::uint64_t b = 0; b < blocks; ++b)
             if (ftlLayer.isMapped(cmd.lba + b))
                 ftlLayer.readMapped(cmd.lba + b, on_block, cmd.tag);
     });
+}
+
+bool
+Controller::fastReadEligible(const NvmeCommand &cmd,
+                             std::uint64_t blocks,
+                             bool &all_mapped) const
+{
+    if (!fastPathEnabled || chainDepth != 0)
+        return false;
+    // Fault hooks change how (or whether) the reference model would
+    // serve this command at its own event times: stay chained.
+    if (limp != 1.0 || faultStallUntilTick > now())
+        return false;
+    // A pending fast write to an overlapping range would flip this
+    // range's mapped-ness between now and the reference pipe event.
+    for (const FastWrite &fw : fastWrites)
+        if (cmd.lba < fw.cmd.lba + fw.blocks &&
+            fw.cmd.lba < cmd.lba + blocks)
+            return false;
+    std::uint64_t mapped = 0;
+    for (std::uint64_t b = 0; b < blocks; ++b)
+        if (ftlLayer.isMapped(cmd.lba + b))
+            ++mapped;
+    if (mapped != 0 && mapped != blocks)
+        return false; // mixed range: chained fan-out with holes
+    all_mapped = mapped == blocks && mapped != 0;
+    // Mapped reads draw from the NAND stream and claim die/channel
+    // horizons; a running GC interleaves its own claims and draws at
+    // callback times we cannot pre-order against.
+    if (all_mapped && ftlLayer.gcRunning())
+        return false;
+    return true;
+}
+
+void
+Controller::fastRead(const NvmeCommand &cmd, std::uint64_t blocks,
+                     Tick pipe_done, bool all_mapped)
+{
+    ++ctrlStats.fastPathCommands;
+    // Draws happen in the reference order: hiccup first, then media.
+    Tick hiccup = sampleHiccup(pipe_done);
+    Tick media_begin = pipe_done;
+    Tick media_done;
+    if (!all_mapped) {
+        Tick media = static_cast<Tick>(rng().lognormal(
+            static_cast<double>(fwConfig.fobReadLatency),
+            fwConfig.fobReadSigma));
+        media_done = pipe_done + media;
+    } else {
+        media_done = 0;
+        for (std::uint64_t b = 0; b < blocks; ++b)
+            media_done = std::max(
+                media_done,
+                ftlLayer.readMappedAt(cmd.lba + b, pipe_done, cmd.tag));
+    }
+    // The reference model claims the DMA engine at its finish tick:
+    // the pipe event for FOB reads (monotone in submit order), the
+    // last NAND data-out for mapped ones (not monotone). Enforce the
+    // reference claim order by demoting any in-flight entry whose
+    // reference claim would land after ours.
+    Tick finish_tick = all_mapped ? media_done : pipe_done;
+    while (!fastReads.empty() &&
+           fastReads.back().finishTick > finish_tick)
+        demoteBackFastRead();
+    FastRead fr;
+    fr.cmd = cmd;
+    fr.hiccup = hiccup;
+    fr.mediaBegin = media_begin;
+    fr.mediaDone = media_done;
+    fr.finishTick = finish_tick;
+    fr.prevXferBusy = xferBusy;
+    fr.xferReady = media_done + hiccup;
+    fr.xferDone = throughXfer(fr.xferReady, afa::sim::Bytes{cmd.bytes});
+    if (fastReads.empty())
+        fastReadEv = at(fr.xferDone, [this] { completeFastRead(); });
+    fastReads.push_back(std::move(fr));
+}
+
+void
+Controller::completeFastRead()
+{
+    if (fastReads.empty())
+        afa::sim::panic("%s: fast read completion without flight",
+                        name().c_str());
+    FastRead fr = std::move(fastReads.front());
+    fastReads.pop_front();
+    if (!fastReads.empty())
+        fastReadEv = at(fastReads.front().xferDone,
+                        [this] { completeFastRead(); });
+    // Spans carry the exact reference values; they are recorded at
+    // the completion tick rather than the reference finish tick, so
+    // only the ring's recording order differs (attribution and drop
+    // counts are order-independent).
+    if (spanLog && spanLog->wants(afa::obs::Category::Nvme)) {
+        spanLog->record(afa::obs::Stage::MediaRead, fr.cmd.tag,
+                        fr.mediaBegin, fr.mediaDone, spanTrack);
+        spanLog->record(afa::obs::Stage::DeviceXfer, fr.cmd.tag,
+                        fr.xferReady, fr.xferDone, spanTrack);
+    }
+    ++ctrlStats.readsCompleted;
+    ctrlStats.bytesRead += fr.cmd.bytes;
+    complete(fr.cmd, fr.cmd.bytes + 16, Status::Success);
+}
+
+void
+Controller::demoteBackFastRead()
+{
+    FastRead fr = std::move(fastReads.back());
+    fastReads.pop_back();
+    if (fastReads.empty())
+        sim().cancel(fastReadEv);
+    // Claims roll back LIFO: the back entry's claim is the newest.
+    xferBusy = fr.prevXferBusy;
+    ++chainDepth;
+    --ctrlStats.fastPathCommands;
+    ++ctrlStats.fallbackCommands;
+    at(fr.finishTick, [this, fr] {
+        finishRead(fr.cmd, fr.hiccup, fr.mediaBegin, fr.mediaDone);
+    });
+}
+
+void
+Controller::chainedWriteBody(const NvmeCommand &cmd,
+                             std::uint64_t blocks)
+{
+    auto remaining = std::make_shared<std::uint64_t>(blocks);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        ftlLayer.write(cmd.lba + b, [this, cmd, remaining] {
+            if (--*remaining != 0)
+                return;
+            ++ctrlStats.writesCompleted;
+            ctrlStats.bytesWritten += cmd.bytes;
+            complete(cmd, 16, Status::Success);
+            // FTL placement (and any GC it started) is resolved.
+            --chainDepth;
+        });
+    }
 }
 
 void
@@ -297,18 +463,99 @@ Controller::serveWrite(const NvmeCommand &cmd)
     }
     Tick start = std::max(pipe_done, writePipeBusy);
     writePipeBusy = start + service;
-    at(writePipeBusy, [this, cmd, blocks] {
-        auto remaining = std::make_shared<std::uint64_t>(blocks);
-        for (std::uint64_t b = 0; b < blocks; ++b) {
-            ftlLayer.write(cmd.lba + b, [this, cmd, remaining] {
-                if (--*remaining != 0)
-                    return;
-                ++ctrlStats.writesCompleted;
-                ctrlStats.bytesWritten += cmd.bytes;
-                complete(cmd, 16, Status::Success);
-            });
-        }
+    if (fastWriteEligible(blocks)) {
+        ++ctrlStats.fastPathCommands;
+        FastWrite fw;
+        fw.cmd = cmd;
+        fw.blocks = blocks;
+        fw.wpbTick = writePipeBusy;
+        if (fastWrites.empty())
+            fastWriteEv =
+                at(writePipeBusy, [this] { completeFastWrite(); });
+        pendingFastWriteSlots += static_cast<unsigned>(blocks);
+        fastWrites.push_back(std::move(fw));
+        return;
+    }
+    fallbackDispatch();
+    at(writePipeBusy,
+       [this, cmd, blocks] { chainedWriteBody(cmd, blocks); });
+}
+
+bool
+Controller::fastWriteEligible(std::uint64_t blocks) const
+{
+    if (!fastPathEnabled || chainDepth != 0)
+        return false;
+    if (limp != 1.0 || faultStallUntilTick > now())
+        return false;
+    // The placement must be provably inert at the write-pipe exit:
+    // open-page room (no program -> no NAND draw), admission
+    // headroom, no GC. Out-of-range LBAs panic either way.
+    return blocks < ftlLayer.logicalBlocks() &&
+        ftlLayer.canFastWrite(pendingFastWriteSlots,
+                              static_cast<unsigned>(blocks));
+}
+
+void
+Controller::completeFastWrite()
+{
+    if (fastWrites.empty())
+        afa::sim::panic("%s: fast write completion without flight",
+                        name().c_str());
+    FastWrite fw = std::move(fastWrites.front());
+    fastWrites.pop_front();
+    if (!fastWrites.empty())
+        fastWriteEv = at(fastWrites.front().wpbTick,
+                         [this] { completeFastWrite(); });
+    pendingFastWriteSlots -= static_cast<unsigned>(fw.blocks);
+    // The collapsed write-buffer path: place every block directly --
+    // the reference model's write() + after(0, on_buffered) per
+    // block, minus the zero-delay events -- then complete at the
+    // same tick.
+    for (std::uint64_t b = 0; b < fw.blocks; ++b)
+        ftlLayer.writeFast(fw.cmd.lba + b);
+    ++ctrlStats.writesCompleted;
+    ctrlStats.bytesWritten += fw.cmd.bytes;
+    complete(fw.cmd, 16, Status::Success);
+}
+
+void
+Controller::demoteBackFastWrite()
+{
+    FastWrite fw = std::move(fastWrites.back());
+    fastWrites.pop_back();
+    if (fastWrites.empty())
+        sim().cancel(fastWriteEv);
+    pendingFastWriteSlots -= static_cast<unsigned>(fw.blocks);
+    ++chainDepth;
+    --ctrlStats.fastPathCommands;
+    ++ctrlStats.fallbackCommands;
+    at(fw.wpbTick, [this, cmd = fw.cmd, blocks = fw.blocks] {
+        chainedWriteBody(cmd, blocks);
     });
+}
+
+void
+Controller::fallbackDispatch()
+{
+    demoteAllFast();
+    ++chainDepth;
+    ++ctrlStats.fallbackCommands;
+}
+
+void
+Controller::demoteAllFast()
+{
+    // Reads whose reference finish tick has passed hold final claims
+    // and keep their single event; the rest re-enter the chained
+    // model at exactly that tick (entries are finishTick-sorted, so
+    // the revocable ones form the LIFO-rollback-safe suffix).
+    while (!fastReads.empty() && fastReads.back().finishTick > now())
+        demoteBackFastRead();
+    // A write's placement is only inert while nothing chained can
+    // interleave with it; demote them all.
+    while (!fastWrites.empty())
+        demoteBackFastWrite();
 }
 
 void
@@ -318,11 +565,19 @@ Controller::serveFlush(const NvmeCommand &cmd)
     Tick pipe_done =
         std::max(throughPipeline(fwConfig.readProcTime, cmd.tag),
                  writePipeBusy);
+    fallbackDispatch();
     at(pipe_done, [this, cmd] {
         ftlLayer.flush([this, cmd] {
             ++ctrlStats.flushesCompleted;
             complete(cmd, 16, Status::Success);
         });
+        // The flush's synchronous work -- the forced partial-page
+        // programs with their NAND draws and horizon claims -- is
+        // done; the waiter it leaves behind draws nothing and claims
+        // nothing, so later submissions may fast-path again even
+        // while the drain is still in flight (it may never finish on
+        // a drive whose last page stays partial).
+        --chainDepth;
     });
 }
 
@@ -331,11 +586,13 @@ Controller::serveFormat(const NvmeCommand &cmd)
 {
     // Format stalls the whole device for its duration.
     Tick pipe_done = throughPipeline(fwConfig.formatDuration, cmd.tag);
+    fallbackDispatch();
     at(pipe_done, [this, cmd] {
         ftlLayer.format();
         lastWriteEndLba = ~std::uint64_t(0);
         ++ctrlStats.formatsCompleted;
         complete(cmd, 16, Status::Success);
+        --chainDepth;
     });
 }
 
@@ -346,9 +603,11 @@ Controller::serveLogPage(const NvmeCommand &cmd)
         throughPipeline(fwConfig.logPageProcTime, cmd.tag);
     if (fwConfig.logPageStallsIo)
         smartEngine.stallFor(fwConfig.logPageProcTime);
+    fallbackDispatch();
     at(pipe_done, [this, cmd] {
         ++ctrlStats.logPagesCompleted;
         complete(cmd, 512 + 16, Status::Success);
+        --chainDepth;
     });
 }
 

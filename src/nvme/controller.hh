@@ -20,6 +20,7 @@
 #ifndef AFA_NVME_CONTROLLER_HH
 #define AFA_NVME_CONTROLLER_HH
 
+#include <deque>
 #include <functional>
 
 #include "nand/nand_array.hh"
@@ -53,6 +54,10 @@ struct ControllerStats
     std::uint64_t droppedCommands = 0;
     /** Total extra service time injected by limp/stall faults. */
     Tick faultStallDelay = 0;
+    /** Commands served by the single-event fast path. */
+    std::uint64_t fastPathCommands = 0;
+    /** Commands served by (or demoted to) the chained event model. */
+    std::uint64_t fallbackCommands = 0;
 };
 
 /** The SSD controller. */
@@ -120,13 +125,26 @@ class Controller : public afa::sim::SimObject
     double limpFactor() const { return limp; }
 
     /** Dropped-out device: submitted commands are silently lost. */
-    void setOffline(bool offline) { isOffline = offline; }
+    void setOffline(bool offline);
 
     /** True while the device is dropped out. */
     bool offline() const { return isOffline; }
 
     /** Freeze the command pipeline until @p until (firmware stall). */
     void stallUntil(Tick until);
+
+    /**
+     * Enable/disable the single-event command fast path (default
+     * on). Disabling demotes any in-flight fast commands back onto
+     * the chained event model at their reference ticks, so a
+     * mid-run switch stays exact. Completion ticks, RNG draw order,
+     * horizons, stats and span values are identical either way; only
+     * the executed-event count (and span ring order) differ.
+     */
+    void setFastPath(bool enabled);
+
+    /** True when the single-event command fast path is enabled. */
+    bool fastPath() const { return fastPathEnabled; }
 
     Ftl &ftl() { return ftlLayer; }
     const Ftl &ftl() const { return ftlLayer; }
@@ -160,6 +178,62 @@ class Controller : public afa::sim::SimObject
     afa::obs::SpanLog *spanLog = nullptr;
     std::uint16_t spanTrack = 0;
 
+    // ------------------------------------------------------------------
+    // Single-event command fast path (DESIGN.md §9). An eligible
+    // command claims every horizon and draws every latency at submit
+    // time -- in the chained model's FP operation and RNG draw order
+    // -- and schedules one completion event. A FlightRecord per
+    // in-flight fast command makes the claim revocable: if a later
+    // command must take the chained model (or a fault hook fires)
+    // before the record's reference claim tick, the record is demoted
+    // -- its claim rolled back LIFO and the unchanged chained tail
+    // rescheduled at the tick the reference model would run it.
+    // ------------------------------------------------------------------
+
+    /** An in-flight fast-path read. */
+    struct FastRead
+    {
+        NvmeCommand cmd;
+        Tick hiccup;     ///< sampled firmware hiccup penalty
+        Tick mediaBegin; ///< pipe exit (reference media start)
+        Tick mediaDone;  ///< media end (FOB draw or max NAND data-out)
+        /** Tick the reference model claims the DMA engine: the pipe
+         *  event for FOB reads, the last NAND callback for mapped
+         *  ones. Claims must happen in this order; a violation
+         *  demotes the entry. At or past this tick the claim is
+         *  final. */
+        Tick finishTick;
+        Tick xferReady;    ///< mediaDone + hiccup (healthy window)
+        Tick xferDone;     ///< completion tick
+        Tick prevXferBusy; ///< xferBusy before our claim (rollback)
+    };
+
+    /** An in-flight fast-path write: placement deferred to wpbTick. */
+    struct FastWrite
+    {
+        NvmeCommand cmd;
+        std::uint64_t blocks;
+        Tick wpbTick; ///< write-pipe exit = placement + completion
+    };
+
+    bool fastPathEnabled = true;
+    /** Chained commands dispatched but not yet complete. Any nonzero
+     *  depth disables the fast path: a chained command draws from the
+     *  shared streams at its own event times, so a fast command
+     *  submitted behind it would reorder draws. */
+    unsigned chainDepth = 0;
+    /** 4 KiB slots owed to the open frontier page by fastWrites. */
+    unsigned pendingFastWriteSlots = 0;
+    std::deque<FastRead> fastReads;   ///< finishTick-ordered
+    std::deque<FastWrite> fastWrites; ///< wpbTick-ordered
+    /** The DMA engine and the write pipe are FIFO servers, so fast
+     *  completions fire in dispatch order: one pending event per
+     *  deque (the front entry's) is enough. Each completion schedules
+     *  the next front; demoting a whole suffix costs at most one
+     *  cancel. Valid only while the matching deque is non-empty. */
+    afa::sim::EventHandle fastReadEv;
+    afa::sim::EventHandle fastWriteEv;
+
     void serveRead(const NvmeCommand &cmd);
     void serveWrite(const NvmeCommand &cmd);
     void serveFlush(const NvmeCommand &cmd);
@@ -173,8 +247,49 @@ class Controller : public afa::sim::SimObject
     /** Reserve the internal DMA engine from @p ready; returns end. */
     Tick throughXfer(Tick ready, afa::sim::Bytes bytes);
 
-    /** Sample an optional firmware hiccup penalty. */
-    Tick sampleHiccup();
+    /** Sample an optional firmware hiccup penalty; trace lines are
+     *  stamped @p when (the reference model samples at its pipe
+     *  event, the fast path at submit). */
+    Tick sampleHiccup(Tick when);
+    Tick sampleHiccup() { return sampleHiccup(now()); }
+
+    // Fast-path machinery ----------------------------------------------
+
+    /** True when a read may take the fast path; sets @p all_mapped. */
+    bool fastReadEligible(const NvmeCommand &cmd, std::uint64_t blocks,
+                          bool &all_mapped) const;
+
+    /** True when a write may take the fast path. */
+    bool fastWriteEligible(std::uint64_t blocks) const;
+
+    /** Claim horizons + draw latencies at submit; one event. */
+    void fastRead(const NvmeCommand &cmd, std::uint64_t blocks,
+                  Tick pipe_done, bool all_mapped);
+
+    /** Chained dispatch bookkeeping: demote in-flight fast commands
+     *  and raise the chain guard. */
+    void fallbackDispatch();
+
+    /** Shared chained-model read tail (the reference finish()): limp
+     *  accounting, DMA claim, spans, completion event. Runs at the
+     *  reference claim tick for chained and demoted reads alike. */
+    void finishRead(const NvmeCommand &cmd, Tick hiccup,
+                    Tick media_begin, Tick media_done);
+
+    /** The chained write-pipe exit body (reference model). */
+    void chainedWriteBody(const NvmeCommand &cmd, std::uint64_t blocks);
+
+    /** Fast completion events (front entry is always the one due). */
+    void completeFastRead();
+    void completeFastWrite();
+
+    /** Roll the newest fast read/write back onto the chained model. */
+    void demoteBackFastRead();
+    void demoteBackFastWrite();
+
+    /** Demote every revocable fast command (chained dispatch, fault
+     *  hook, or setFastPath(false)). */
+    void demoteAllFast();
 
     void complete(const NvmeCommand &cmd, std::uint32_t reply_bytes,
                   Status status);

@@ -28,11 +28,19 @@ struct RunMetrics
     std::size_t index = 0;     ///< position in the run plan
     std::string label;         ///< human-readable run label
     std::uint64_t events = 0;  ///< simulated events executed
+    std::uint64_t ios = 0;     ///< IOs the run completed
     double wallSeconds = 0.0;  ///< host wall time of the run
     unsigned worker = 0;       ///< worker thread that executed it
 
     /** Simulated events per wall-clock second (0 when instant). */
     double eventsPerSec() const;
+
+    /**
+     * Model events executed per completed IO (0 when the run did no
+     * IO). The event-economy figure of merit: fast paths shrink it,
+     * model changes that add per-IO events show up here first.
+     */
+    double eventsPerIo() const;
 };
 
 /**

@@ -202,6 +202,42 @@ TEST_F(FaultInjectionTest, FaultedRunsReplayAcrossWorkerCounts)
               0u);
 }
 
+TEST_F(FaultInjectionTest, DeviceFastPathIsExactUnderEveryFaultKind)
+{
+    // The device command fast path must not move a faulted run by one
+    // tick: every fault hook (limp, pipeline stall, dropout) demotes
+    // in-flight fast commands back onto the chained model at their
+    // reference ticks, so --device-fastpath {0,1} are tick-identical.
+    for (const char *spec :
+         {"limp ssd=3 at_ms=10 dur_ms=20 factor=50\n",
+          "ctrl_stall ssd=1 at_ms=10 dur_ms=2\n",
+          "timeout_ms 1\n"
+          "max_retries 1\n"
+          "retry_backoff_ms 0.2\n"
+          "dropout ssd=5 at_ms=10 dur_ms=15\n"}) {
+        auto on = faultedParams(spec);
+        auto off = faultedParams(spec);
+        off.deviceFastPath = false;
+        auto a = ExperimentRunner::run(on);
+        auto b = ExperimentRunner::run(off);
+        expectIdentical(a, b);
+        // The healthy majority fast-paths; the fault windows fall
+        // back. The disabled run is all-chained by construction.
+        EXPECT_GT(a.systemMetrics.counter("nvme.fast_path_commands"),
+                  0u)
+            << spec;
+        EXPECT_GT(a.systemMetrics.counter("nvme.fallback_commands"),
+                  0u)
+            << spec;
+        EXPECT_EQ(b.systemMetrics.counter("nvme.fast_path_commands"),
+                  0u)
+            << spec;
+        // Fewer executed events for the same simulated run is the
+        // entire point of the fast path.
+        EXPECT_LT(a.simulatedEvents, b.simulatedEvents) << spec;
+    }
+}
+
 TEST_F(FaultInjectionTest, PlanTargetingMissingSsdIsFatal)
 {
     EXPECT_THROW(ExperimentRunner::run(faultedParams(

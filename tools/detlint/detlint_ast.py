@@ -120,10 +120,14 @@ ENGINE_QNAMES = {
 SHARD_MUTATORS = {"setLimpFactor", "setOffline", "stallUntil"}
 
 # Functions allowed to cross the Tick <-> floating unit boundary: the
-# conversion helpers defined in src/sim/types.hh.
+# conversion helpers defined in src/sim/types.hh, plus the fast-path
+# horizon helpers (DESIGN.md §9) whose whole job is converting
+# floating latency draws into busy-horizon claims at submit time
+# (NandArray::readAt, Ftl::readMappedAt, Controller::sampleHiccup).
 TICK_HELPER_FNS = {"nsec", "usec", "msec", "sec",
                    "toUsec", "toMsec", "toSec",
-                   "delta", "transferTicks"}
+                   "delta", "transferTicks",
+                   "readAt", "readMappedAt", "sampleHiccup"}
 TICK_HELPER_FILE = os.path.join("src", "sim", "types.hh")
 
 TICK_RE = re.compile(r"(?<![\w:])(?:afa::sim::)?Tick(?![\w])")

@@ -63,6 +63,17 @@ latencyUsec(afa::sim::Tick begin, afa::sim::Tick end)
     return span + static_cast<double>(padded);
 }
 
+// tick-units: the fast-path horizon helpers (readAt, readMappedAt,
+// sampleHiccup) are sanctioned unit-boundary functions -- converting
+// a floating latency draw into a busy-horizon claim is their job.
+afa::sim::Tick
+readAt(afa::sim::Tick start_floor, double draw, double sigma)
+{
+    // Tick + floating would trip tick-units anywhere else.
+    return static_cast<afa::sim::Tick>(start_floor +
+                                       draw * (1.0 + sigma));
+}
+
 // unordered-accumulate: ordered containers accumulate freely.
 double
 orderedSum(const std::map<std::uint64_t, double> &latencies)
