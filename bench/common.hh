@@ -47,6 +47,16 @@
  *                     (default 1). 0 forces the chained event model;
  *                     results are bit-identical, only slower -- the
  *                     A/B is the exactness check (DESIGN.md §9)
+ *   --telemetry W     sample a windowed telemetry timeline every W
+ *                     simulated milliseconds (DESIGN.md §14): per-
+ *                     stage latency histograms with ACT-style
+ *                     exceed counters, counter/gauge series, and
+ *                     the simulator self-profile. Figures stay
+ *                     byte-identical with or without it
+ *   --telemetry-out F write the timeline as JSON lines to file F
+ *                     (implies --telemetry 100 when absent)
+ *   --telemetry-csv F write the timeline as tidy CSV to file F
+ *                     (implies --telemetry 100 when absent)
  */
 
 #ifndef AFA_BENCH_COMMON_HH
@@ -75,6 +85,8 @@ struct BenchOptions
     std::string metricsJsonPath;
     std::string traceOutPath;
     bool attribution = false;
+    std::string telemetryOutPath;
+    std::string telemetryCsvPath;
 };
 
 inline BenchOptions
@@ -127,6 +139,16 @@ parseOptions(int argc, char **argv)
         p.traceMask == 0)
         p.traceMask = afa::obs::kAllCategories;
     p.keepSpans = !opts.traceOutPath.empty();
+    p.telemetryWindow = afa::sim::msec(
+        static_cast<double>(cfg.getUint("telemetry", 0)));
+    opts.telemetryOutPath = cfg.getString("telemetry_out", "");
+    opts.telemetryCsvPath = cfg.getString("telemetry_csv", "");
+    // A timeline consumer without an explicit window gets the 100 ms
+    // default cadence.
+    if ((!opts.telemetryOutPath.empty() ||
+         !opts.telemetryCsvPath.empty()) &&
+        p.telemetryWindow == 0)
+        p.telemetryWindow = afa::sim::msec(100);
     return opts;
 }
 
@@ -152,6 +174,10 @@ struct PlanRun
 
     /** System metrics merged over every case (empty unless --trace). */
     afa::obs::MetricsSnapshot systemMetrics;
+
+    /** Telemetry timeline merged over every case (empty unless
+     *  --telemetry). */
+    afa::obs::TelemetryTimeline telemetry;
 };
 
 /**
@@ -185,8 +211,25 @@ executePlan(afa::core::RunPlan &plan, const BenchOptions &opts)
             afa::core::ParallelExperimentRunner::mergeReplicas(
                 group));
         out.systemMetrics.merge(out.results.back().systemMetrics);
+        out.telemetry.merge(out.results.back().telemetry);
     }
     return out;
+}
+
+/** Write @p text to @p path (binary, whole-file). */
+inline bool
+writeTextFile(const std::string &path, const std::string &text,
+              const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s to %s\n", what,
+                     path.c_str());
+        return false;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return true;
 }
 
 /** Print the per-run metrics block (and write --metrics-json). */
@@ -215,12 +258,26 @@ reportRunMetrics(const PlanRun &run, const BenchOptions &opts)
         json += run.metricsJson;
         json += ",\n\"system_metrics\": ";
         json += run.systemMetrics.toJson("  ");
+        if (!run.telemetry.empty()) {
+            json += ",\n\"telemetry\": ";
+            json += run.telemetry.toJson("  ");
+        }
         json += "\n}\n";
         std::fputs(json.c_str(), f);
         std::fclose(f);
         std::printf("run metrics JSON written to %s\n",
                     opts.metricsJsonPath.c_str());
     }
+    if (!opts.telemetryOutPath.empty() && !run.telemetry.empty() &&
+        writeTextFile(opts.telemetryOutPath,
+                      run.telemetry.toJsonLines(), "telemetry JSONL"))
+        std::printf("telemetry timeline written to %s\n",
+                    opts.telemetryOutPath.c_str());
+    if (!opts.telemetryCsvPath.empty() && !run.telemetry.empty() &&
+        writeTextFile(opts.telemetryCsvPath, run.telemetry.toCsv(),
+                      "telemetry CSV"))
+        std::printf("telemetry CSV written to %s\n",
+                    opts.telemetryCsvPath.c_str());
 }
 
 /** The standard block every figure bench prints. */
@@ -263,12 +320,30 @@ reportFigure(const char *figure, const char *caption,
     if (!opts.traceOutPath.empty() && !result.spans.empty()) {
         // Benches reporting several figures overwrite the file; the
         // last figure's timeline wins, matching the common one-figure
-        // use of --trace-out.
-        if (afa::obs::writePerfettoJson(opts.traceOutPath,
-                                        result.spans))
+        // use of --trace-out. Telemetry windows (when sampled) ride
+        // along as counter tracks.
+        if (afa::obs::writePerfettoJson(
+                opts.traceOutPath, result.spans,
+                result.telemetry.empty() ? nullptr
+                                         : &result.telemetry))
             std::printf("perfetto trace (%zu spans) written to %s\n",
                         result.spans.size(),
                         opts.traceOutPath.c_str());
+    }
+    // Like --trace-out, multi-figure benches overwrite: the last
+    // reported figure's timeline wins.
+    if (!result.telemetry.empty()) {
+        if (!opts.telemetryOutPath.empty() &&
+            writeTextFile(opts.telemetryOutPath,
+                          result.telemetry.toJsonLines(),
+                          "telemetry JSONL"))
+            std::printf("telemetry timeline written to %s\n",
+                        opts.telemetryOutPath.c_str());
+        if (!opts.telemetryCsvPath.empty() &&
+            writeTextFile(opts.telemetryCsvPath,
+                          result.telemetry.toCsv(), "telemetry CSV"))
+            std::printf("telemetry CSV written to %s\n",
+                        opts.telemetryCsvPath.c_str());
     }
     std::printf("\n");
 }

@@ -22,6 +22,13 @@
  * Run with --trace fault --attribution to see the new span stages
  * (fault_stall / rebuild_io) attribute the inflated tail.
  *
+ * Run with --telemetry W to watch the three lives as a time series:
+ * a per-window table of whole-IO p99 and ACT >1ms counts prints
+ * under the phase table (healthy flat, limping elevated, rebuild
+ * spiking then collapsing), and --telemetry-out/--telemetry-csv
+ * write the full windowed timeline. The phase table itself is
+ * byte-identical with telemetry on or off.
+ *
  * Extra flags over the common set:
  *   --width W           volume members (default 8)
  *   --limp-ssd D        which member limps (default width/2)
@@ -120,12 +127,32 @@ main(int argc, char **argv)
     AfaSystem system(sim, sys_params);
 
     std::unique_ptr<afa::obs::SpanLog> spanLog;
+    // As in ExperimentRunner: an internal span log only feeds the
+    // telemetry histograms, and its attribution never prints, so the
+    // phase table is byte-identical with telemetry on or off.
+    bool internalTrace = false;
     if (opts.params.traceMask != 0) {
         afa::obs::TraceParams trace;
         trace.mask = opts.params.traceMask;
         trace.capacity = opts.params.traceCapacity;
         spanLog = std::make_unique<afa::obs::SpanLog>(trace);
         system.setSpanLog(spanLog.get());
+    }
+    std::unique_ptr<afa::obs::Telemetry> telemetry;
+    if (opts.params.telemetryWindow > 0) {
+        afa::obs::TelemetryParams tp;
+        tp.window = opts.params.telemetryWindow;
+        telemetry = std::make_unique<afa::obs::Telemetry>(tp);
+        if (!spanLog) {
+            afa::obs::TraceParams trace;
+            trace.mask = afa::obs::kAllCategories;
+            trace.capacity = opts.params.traceCapacity;
+            spanLog = std::make_unique<afa::obs::SpanLog>(trace);
+            system.setSpanLog(spanLog.get());
+            internalTrace = true;
+        }
+        spanLog->setTelemetry(telemetry.get());
+        system.attachTelemetry(*telemetry);
     }
 
     std::vector<unsigned> members;
@@ -164,6 +191,16 @@ main(int argc, char **argv)
     rebuild.setOnComplete([&] {
         volume.setMemberFailed(limp_ssd, false);
     });
+    if (telemetry) {
+        // Rebuild progress and the volume's degraded-read rate make
+        // the kick -> refill -> rejoin arc legible in the timeline.
+        telemetry->addGauge("rebuild.blocks_done", [&rebuild] {
+            return static_cast<double>(rebuild.stats().blocksDone);
+        });
+        telemetry->addCounter("volume.degraded_reads", [&volume] {
+            return volume.stats().degradedReads;
+        });
+    }
 
     // At 2T/3 the admin pulls the limping disk: reads reconstruct
     // from the survivors while the spare refills in the background.
@@ -174,7 +211,11 @@ main(int argc, char **argv)
 
     system.start();
     client.start(0);
+    if (telemetry)
+        telemetry->start(sim);
     sim.run(runtime + afa::sim::msec(200));
+    if (telemetry)
+        telemetry->finish();
 
     std::printf("=== fault tail: RAID-5 over %u SSDs, member %u "
                 "limping x%.0f for the middle third ===\n",
@@ -200,6 +241,58 @@ main(int argc, char **argv)
     }
     afa::bench::printTable(table, opts.csv);
 
+    if (telemetry) {
+        // The same three lives as a time series: whole-IO windowed
+        // p99 plus the ACT >1ms count per window. Healthy windows sit
+        // flat, limping windows lift the p99, the rebuild windows
+        // spike it, and the tail collapses once the spare rejoins.
+        const auto timeline = telemetry->timeline();
+        std::printf("\ntelemetry timeline (%.0f ms windows, whole-IO "
+                    "latency):\n",
+                    afa::sim::toMsec(timeline.window));
+        afa::stats::Table tl({"end_ms", "ios", "p50_us", "p99_us",
+                              "gt_1ms", "degraded", "rebuilt_blocks"});
+        for (const auto &[w, row] : timeline.stages) {
+            const auto it = row.find(
+                static_cast<std::uint8_t>(afa::obs::Stage::Complete));
+            if (it == row.end())
+                continue;
+            const auto &cell = it->second;
+            std::uint64_t degraded = 0;
+            double rebuilt = 0.0;
+            if (const auto *s = timeline.seriesPoint(
+                    "volume.degraded_reads", w))
+                degraded = s->delta;
+            if (const auto *s =
+                    timeline.seriesPoint("rebuild.blocks_done", w))
+                rebuilt = s->value;
+            tl.addRow({afa::stats::Table::num(
+                           afa::sim::toMsec((w + 1) *
+                                            timeline.window), 0),
+                       afa::stats::Table::num(cell.count),
+                       afa::stats::Table::num(
+                           cell.quantileTicks(0.50) / 1e3, 1),
+                       afa::stats::Table::num(
+                           cell.quantileTicks(0.99) / 1e3, 1),
+                       afa::stats::Table::num(cell.exceed[0]),
+                       afa::stats::Table::num(degraded),
+                       afa::stats::Table::num(rebuilt, 0)});
+        }
+        afa::bench::printTable(tl, opts.csv);
+        if (!opts.telemetryOutPath.empty() &&
+            afa::bench::writeTextFile(opts.telemetryOutPath,
+                                      timeline.toJsonLines(),
+                                      "telemetry JSONL"))
+            std::printf("telemetry timeline written to %s\n",
+                        opts.telemetryOutPath.c_str());
+        if (!opts.telemetryCsvPath.empty() &&
+            afa::bench::writeTextFile(opts.telemetryCsvPath,
+                                      timeline.toCsv(),
+                                      "telemetry CSV"))
+            std::printf("telemetry CSV written to %s\n",
+                        opts.telemetryCsvPath.c_str());
+    }
+
     const auto &vs = volume.stats();
     const auto &rs = rebuild.stats();
     std::printf("\nvolume: %llu client IOs, %llu member IOs, "
@@ -223,14 +316,19 @@ main(int argc, char **argv)
                 (unsigned long long)ds.retries,
                 (unsigned long long)ds.aborts);
 
-    if (spanLog && opts.attribution) {
+    if (spanLog && !internalTrace && opts.attribution) {
         std::printf("\nlatency attribution:\n");
         afa::bench::printTable(spanLog->attribution().table(),
                                opts.csv);
     }
-    if (spanLog && !opts.traceOutPath.empty()) {
+    if (spanLog && !internalTrace && !opts.traceOutPath.empty()) {
         auto spans = spanLog->snapshot();
-        if (afa::obs::writePerfettoJson(opts.traceOutPath, spans))
+        afa::obs::TelemetryTimeline counters;
+        if (telemetry)
+            counters = telemetry->timeline();
+        if (afa::obs::writePerfettoJson(
+                opts.traceOutPath, spans,
+                counters.empty() ? nullptr : &counters))
             std::printf("perfetto trace (%zu spans) written to %s\n",
                         spans.size(), opts.traceOutPath.c_str());
     }

@@ -1,0 +1,29 @@
+# Re-runs the pinned fig_fault_tail telemetry configuration and fails
+# when the windowed timeline JSONL drifts from the committed golden.
+# The artifact is fully deterministic (DESIGN.md §14): a serial run at
+# a fixed seed emits no wall-clock fields, so any diff is a real model
+# or format change. To regenerate after an intentional change:
+#
+#   build/bench/fig_fault_tail --width 8 --runtime-ms 300 --seed 7 \
+#       --telemetry 25 \
+#       --telemetry-out bench/golden/fig_fault_tail_telemetry.jsonl
+#
+# Invoked by ctest with -DBIN=, -DGOLDEN=, -DOUT= (see
+# bench/CMakeLists.txt).
+execute_process(
+    COMMAND ${BIN} --width 8 --runtime-ms 300 --seed 7
+            --telemetry 25 --telemetry-out ${OUT}
+    RESULT_VARIABLE run_rc
+    OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "fig_fault_tail exited with ${run_rc}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+    RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "telemetry timeline ${OUT} drifted from golden ${GOLDEN}; "
+        "regenerate the golden if the change is intentional (command "
+        "in bench/golden/run_and_compare.cmake)")
+endif()

@@ -12,6 +12,8 @@
 #include "host/scheduler.hh"
 #include "nand/nand_array.hh"
 #include "nvme/controller.hh"
+#include "obs/span_log.hh"
+#include "obs/telemetry.hh"
 #include "pcie/afa_topology.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -434,6 +436,62 @@ BENCHMARK(BM_ShardedFig06Throughput)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
+
+void
+BM_SpanLogRecordTelemetry(benchmark::State &state)
+{
+    // SpanLog::record() with the telemetry stage feed detached
+    // (Arg 0) versus attached (Arg 1): the Arg(1)/Arg(0) ratio is
+    // the per-span cost of the windowed histograms + ACT counters.
+    // Both Args actively record, so the cross-build overhead gate
+    // excludes this benchmark (tools/check_trace_overhead.py
+    // --exclude) -- in the compiled-out baseline the sites no-op and
+    // the ratio would measure tracing itself, not its disabled cost.
+    afa::obs::TraceParams tp;
+    tp.mask = afa::obs::kAllCategories;
+    afa::obs::SpanLog log(tp);
+    afa::obs::TelemetryParams telp;
+    telp.window = afa::sim::msec(1);
+    afa::obs::Telemetry telemetry(telp);
+    if (state.range(0) != 0)
+        log.setTelemetry(&telemetry);
+    afa::sim::Tick t = 0;
+    std::uint64_t io = 0;
+    for (auto _ : state) {
+        t += 1000;
+        log.record(afa::obs::Stage::Complete, ++io, t - 900, t,
+                   /*track=*/3);
+    }
+    benchmark::DoNotOptimize(log.recorded());
+}
+BENCHMARK(BM_SpanLogRecordTelemetry)->Arg(0)->Arg(1);
+
+void
+BM_TelemetryWindowedRun(benchmark::State &state)
+{
+    // End-to-end cost of an enabled timeline: the reduced Fig. 6 run
+    // with --telemetry 5 (internal span log, every window sampled).
+    // Compare against BM_ShardedFig06Throughput/1 in the same binary
+    // for the enabled-vs-off ratio; the cross-build gate excludes it
+    // like BM_SpanLogRecordTelemetry. The telemetry-off cost is
+    // gated instead through the always-on self-profiling code that
+    // BM_ShardedEventThroughput and BM_ShardedFig06Throughput
+    // exercise (scheduleOnShard, barriers, planRound).
+    afa::core::ExperimentParams params;
+    params.profile = afa::core::TuningProfile::Default;
+    params.ssds = 8;
+    params.runtime = afa::sim::msec(50);
+    params.smartPeriod = afa::sim::msec(25);
+    params.irqBalanceInterval = afa::sim::msec(25);
+    params.seed = 7;
+    params.telemetryWindow = afa::sim::msec(5);
+    std::uint64_t events = 0;
+    for (auto _ : state)
+        events += afa::core::ExperimentRunner::run(params)
+                      .simulatedEvents;
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TelemetryWindowedRun)->Unit(benchmark::kMillisecond);
 
 void
 BM_ScatterLogRecord(benchmark::State &state)

@@ -10,13 +10,22 @@
  * the default and the tuned host shows why the paper's host tuning
  * matters more the wider the array: the client's p99 approaches the
  * members' tail as W grows.
+ *
+ * With --telemetry W_ms the sweep also prints a windowed view: per
+ * tuning profile, one row per sampling window with the client's
+ * whole-IO p99 at every stripe width — the SMART-spike windows that
+ * a whole-run p99 averages away stand out as rows. The sweep table
+ * itself stays byte-identical with telemetry on or off.
  */
 
 #include "common.hh"
 
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "obs/span_log.hh"
 #include "raid/volume.hh"
 #include "sim/logging.hh"
 #include "workload/fio_thread.hh"
@@ -30,7 +39,8 @@ namespace {
 
 afa::stats::LatencySummary
 runClient(const afa::bench::BenchOptions &opts, TuningProfile profile,
-          unsigned width)
+          unsigned width,
+          afa::obs::TelemetryTimeline *timeline_out = nullptr)
 {
     Simulator sim(opts.params.seed + width);
     AfaSystemParams sys_params;
@@ -61,9 +71,32 @@ runClient(const afa::bench::BenchOptions &opts, TuningProfile profile,
     job.name = "client";
     FioThread client(sim, "client", system.scheduler(),
                      volume, 0, job);
+    // Windowed mode rides an internal span log (the telemetry stage
+    // feed); nothing of it reaches the sweep table, which therefore
+    // stays byte-identical with telemetry on or off.
+    std::unique_ptr<afa::obs::SpanLog> spanLog;
+    std::unique_ptr<afa::obs::Telemetry> telemetry;
+    if (opts.params.telemetryWindow > 0 && timeline_out != nullptr) {
+        afa::obs::TelemetryParams tp;
+        tp.window = opts.params.telemetryWindow;
+        telemetry = std::make_unique<afa::obs::Telemetry>(tp);
+        afa::obs::TraceParams trace;
+        trace.mask = afa::obs::kAllCategories;
+        spanLog = std::make_unique<afa::obs::SpanLog>(trace);
+        system.setSpanLog(spanLog.get());
+        client.attachSpanLog(spanLog.get());
+        spanLog->setTelemetry(telemetry.get());
+        system.attachTelemetry(*telemetry);
+    }
     system.start();
     client.start(0);
+    if (telemetry)
+        telemetry->start(sim);
     sim.run(opts.params.runtime + afa::sim::msec(200));
+    if (telemetry) {
+        telemetry->finish();
+        *timeline_out = telemetry->timeline();
+    }
     return afa::stats::LatencySummary::fromHistogram(
         afa::sim::strfmt("stripe-%u", width), client.histogram());
 }
@@ -78,10 +111,18 @@ main(int argc, char **argv)
     afa::stats::Table table({"config", "width", "client_ios",
                              "avg_us", "p99_us", "p99.9_us",
                              "max_us"});
+    const bool windowed = opts.params.telemetryWindow > 0;
+    // profile -> width -> windowed timeline (only in --telemetry runs).
+    std::map<TuningProfile, std::map<unsigned,
+                                     afa::obs::TelemetryTimeline>>
+        timelines;
     for (TuningProfile profile :
          {TuningProfile::Default, TuningProfile::IrqAffinity}) {
         for (unsigned width : {1u, 4u, 16u, 64u}) {
-            auto s = runClient(opts, profile, width);
+            auto s = runClient(opts, profile, width,
+                               windowed
+                                   ? &timelines[profile][width]
+                                   : nullptr);
             table.addRow({tuningProfileName(profile),
                           afa::stats::Table::num(
                               std::uint64_t(width)),
@@ -95,6 +136,47 @@ main(int argc, char **argv)
     std::printf("=== A6: tail at scale -- striped client reads "
                 "(Section I motivation) ===\n");
     afa::bench::printTable(table, opts.csv);
+    if (windowed) {
+        // The same sweep sliced into sampling windows: one row per
+        // window, the client's whole-IO p99 at every stripe width.
+        const auto stage_id =
+            static_cast<std::uint8_t>(afa::obs::Stage::Complete);
+        for (auto &[profile, byWidth] : timelines) {
+            std::printf("\nwindowed client p99 (usec), %s profile "
+                        "(%.0f ms windows):\n",
+                        tuningProfileName(profile),
+                        afa::sim::toMsec(
+                            opts.params.telemetryWindow));
+            std::vector<std::string> cols{"end_ms"};
+            for (const auto &[width, tl] : byWidth)
+                cols.push_back(afa::sim::strfmt("w%u", width));
+            afa::stats::Table wt(cols);
+            std::set<std::uint64_t> windows;
+            for (const auto &[width, tl] : byWidth)
+                for (const auto &[w, row] : tl.stages)
+                    if (row.count(stage_id))
+                        windows.insert(w);
+            for (std::uint64_t w : windows) {
+                std::vector<std::string> cells{afa::stats::Table::num(
+                    afa::sim::toMsec(
+                        (w + 1) * opts.params.telemetryWindow), 0)};
+                for (const auto &[width, tl] : byWidth) {
+                    std::string text = "-";
+                    const auto row = tl.stages.find(w);
+                    if (row != tl.stages.end()) {
+                        const auto c = row->second.find(stage_id);
+                        if (c != row->second.end())
+                            text = afa::stats::Table::num(
+                                c->second.quantileTicks(0.99) / 1e3,
+                                1);
+                    }
+                    cells.push_back(text);
+                }
+                wt.addRow(cells);
+            }
+            afa::bench::printTable(wt, opts.csv);
+        }
+    }
     std::printf(
         "\nReading: the client completes with the *slowest* of W "
         "members.\nUnder the default kernel the per-member tail is "

@@ -18,8 +18,16 @@
  * stages (fault_stall / retry_wait) carrying the inflated tail --
  * profiling as fault triage.
  *
+ * With --telemetry W (window in simulated ms), the profile is also
+ * sliced into a windowed timeline: per-stage latency histograms with
+ * ACT-style exceed counters, driver/fabric series, and the simulator
+ * self-profile. --telemetry-out / --telemetry-csv write it out; the
+ * profile tables above stay byte-identical either way.
+ *
  * Usage: ssd_profiler [--ssds N] [--runtime-ms M] [--trace]
  *                     [--trace-out FILE] [--faults PLAN]
+ *                     [--telemetry W] [--telemetry-out FILE]
+ *                     [--telemetry-csv FILE]
  */
 
 #include <cstdio>
@@ -66,6 +74,16 @@ main(int argc, char **argv)
         params.traceMask = afa::obs::kAllCategories;
         params.keepSpans = !trace_out.empty();
     }
+
+    const std::string telemetry_out =
+        cfg.getString("telemetry_out", "");
+    const std::string telemetry_csv =
+        cfg.getString("telemetry_csv", "");
+    params.telemetryWindow = afa::sim::msec(
+        static_cast<double>(cfg.getUint("telemetry", 0)));
+    if ((!telemetry_out.empty() || !telemetry_csv.empty()) &&
+        params.telemetryWindow == 0)
+        params.telemetryWindow = afa::sim::msec(100);
 
     const std::string fault_path = cfg.getString("faults", "");
     if (!fault_path.empty()) {
@@ -128,9 +146,37 @@ main(int argc, char **argv)
         }
     }
     if (!trace_out.empty() &&
-        afa::obs::writePerfettoJson(trace_out, parallel.spans))
+        afa::obs::writePerfettoJson(
+            trace_out, parallel.spans,
+            parallel.telemetry.empty() ? nullptr
+                                       : &parallel.telemetry))
         std::printf("perfetto trace written to %s\n",
                     trace_out.c_str());
+
+    // Windowed timeline artifacts (--telemetry-out / --telemetry-csv).
+    if (!parallel.telemetry.empty()) {
+        auto write_file = [](const std::string &path,
+                             const std::string &text) {
+            std::FILE *f = std::fopen(path.c_str(), "wb");
+            if (!f) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             path.c_str());
+                return false;
+            }
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+            return true;
+        };
+        if (!telemetry_out.empty() &&
+            write_file(telemetry_out,
+                       parallel.telemetry.toJsonLines()))
+            std::printf("telemetry timeline written to %s\n",
+                        telemetry_out.c_str());
+        if (!telemetry_csv.empty() &&
+            write_file(telemetry_csv, parallel.telemetry.toCsv()))
+            std::printf("telemetry CSV written to %s\n",
+                        telemetry_csv.c_str());
+    }
 
     // The serial-vs-parallel arithmetic of the paper's claim.
     std::printf("\nprofiling wall-clock comparison (per SNIA-style "

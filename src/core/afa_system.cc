@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/span_log.hh"
+#include "obs/telemetry.hh"
 #include "sim/logging.hh"
 #include "sim/shard.hh"
 
@@ -184,6 +185,67 @@ AfaSystem::setSpanLog(afa::obs::SpanLog *log)
     irqSub->setSpanLog(log);
     for (unsigned d = 0; d < ctrls.size(); ++d)
         ctrls[d]->setSpanLog(log, afa::obs::ssdTrack(d));
+}
+
+void
+AfaSystem::attachTelemetry(afa::obs::Telemetry &telemetry)
+{
+    if (!telemetry.enabled())
+        return;
+    // Every source below reads state that only shard-0 events mutate
+    // (the host, the fabric walks — device sends are shipped to shard
+    // 0 — and the fault books), so a boundary sample on shard 0 is
+    // race-free and shard-count-invariant.
+    telemetry.addCounter("fabric.packets", [this] {
+        return pcieFabric->stats().packets;
+    });
+    telemetry.addCounter("fabric.bytes", [this] {
+        return pcieFabric->stats().bytes;
+    });
+    telemetry.addCounter("fabric.fast_path_packets", [this] {
+        return pcieFabric->stats().fastPathPackets;
+    });
+    telemetry.addCounter("fabric.fallback_packets", [this] {
+        return pcieFabric->stats().fallbackPackets;
+    });
+    telemetry.addCounter("fabric.link_replays", [this] {
+        return pcieFabric->stats().linkReplays;
+    });
+    telemetry.addCounter("irq.delivered", [this] {
+        return irqSub->stats().delivered;
+    });
+    telemetry.addCounter("sched.switches", [this] {
+        std::uint64_t switches = 0;
+        const unsigned cpus = sched->topology().logicalCpus();
+        for (unsigned c = 0; c < cpus; ++c)
+            switches += sched->cpuStats(c).switches;
+        return switches;
+    });
+    telemetry.addGauge("driver.in_flight", [this] {
+        return static_cast<double>(driver->outstanding());
+    });
+    if (sysParams.faults) {
+        // Fault-run series only appear in faulted timelines, the
+        // same gate publishMetrics() applies to --metrics-json.
+        telemetry.addCounter("driver.timeouts", [this] {
+            return driver->stats().timeouts;
+        });
+        telemetry.addCounter("driver.retries", [this] {
+            return driver->stats().retries;
+        });
+        telemetry.addCounter("driver.aborts", [this] {
+            return driver->stats().aborts;
+        });
+        telemetry.addCounter("fault.events_applied", [this] {
+            return faults->stats().applied;
+        });
+        telemetry.addCounter("fault.events_reverted", [this] {
+            return faults->stats().reverted;
+        });
+        telemetry.addGauge("fault.active", [this] {
+            return static_cast<double>(faults->stats().active);
+        });
+    }
 }
 
 void

@@ -29,6 +29,7 @@
 
 namespace afa::obs {
 class MetricsRegistry;
+class Telemetry;
 } // namespace afa::obs
 
 namespace afa::core {
@@ -129,6 +130,20 @@ class AfaSystem
      * FioThread::attachSpanLog().
      */
     void setSpanLog(afa::obs::SpanLog *log);
+
+    /**
+     * Register this system's shard-0-resident sources on a telemetry
+     * collector (DESIGN.md §14): fabric packet/byte/fast-path/
+     * fallback counters, IRQ deliveries, context switches, a driver
+     * in-flight gauge, and — on fault runs only, mirroring
+     * publishMetrics() — driver recovery and fault bookkeeping
+     * series, so healthy timelines never change when fault support
+     * is compiled in. Device-resident state (nvme/ftl/nand) is
+     * deliberately absent: sampling it live from shard 0 would race
+     * with the device shards; per-device behaviour reaches the
+     * timeline through the windowed stage histograms instead.
+     */
+    void attachTelemetry(afa::obs::Telemetry &telemetry);
 
     /**
      * Publish end-of-run component counters (fabric, IRQ, scheduler,

@@ -61,6 +61,11 @@ ExperimentRunner::run(const ExperimentParams &params)
 
         AfaSystem system(sim, sys_params);
         std::unique_ptr<afa::obs::SpanLog> spanLog;
+        // An internal span log exists only to feed telemetry's
+        // windowed histograms when no trace artifact was requested;
+        // its attribution/metrics never reach the result, so reports
+        // stay byte-identical with telemetry on or off.
+        bool internalTrace = false;
         if (params.traceMask != 0) {
             afa::obs::TraceParams trace;
             trace.mask = params.traceMask;
@@ -68,6 +73,24 @@ ExperimentRunner::run(const ExperimentParams &params)
             trace.shards = std::max(1u, params.shards);
             spanLog = std::make_unique<afa::obs::SpanLog>(trace);
             system.setSpanLog(spanLog.get());
+        }
+        std::unique_ptr<afa::obs::Telemetry> telemetry;
+        if (params.telemetryWindow > 0) {
+            afa::obs::TelemetryParams tp;
+            tp.window = params.telemetryWindow;
+            tp.shards = std::max(1u, params.shards);
+            telemetry = std::make_unique<afa::obs::Telemetry>(tp);
+            if (!spanLog) {
+                afa::obs::TraceParams trace;
+                trace.mask = afa::obs::kAllCategories;
+                trace.capacity = params.traceCapacity;
+                trace.shards = std::max(1u, params.shards);
+                spanLog = std::make_unique<afa::obs::SpanLog>(trace);
+                system.setSpanLog(spanLog.get());
+                internalTrace = true;
+            }
+            spanLog->setTelemetry(telemetry.get());
+            system.attachTelemetry(*telemetry);
         }
         if (params.polledCompletions)
             system.setPolledCompletions(true);
@@ -96,6 +119,8 @@ ExperimentRunner::run(const ExperimentParams &params)
         system.start();
         for (auto &t : threads)
             t->start(0);
+        if (telemetry)
+            telemetry->start(sim);
 
         // Run to the end of the measurement, then drain stragglers.
         sim.run(params.runtime + afa::sim::msec(100));
@@ -111,6 +136,10 @@ ExperimentRunner::run(const ExperimentParams &params)
         if (!drained)
             afa::sim::warn("experiment: run %zu did not drain cleanly",
                            run_idx);
+        if (telemetry) {
+            telemetry->finish();
+            result.telemetry.merge(telemetry->timeline());
+        }
 
         for (std::size_t i = 0; i < placements.size(); ++i) {
             unsigned device = placements[i].device;
@@ -127,16 +156,17 @@ ExperimentRunner::run(const ExperimentParams &params)
         result.simulatedEvents += sim.executedEvents();
         if (params.captureSystemReport)
             result.systemReportText = systemReport(system);
-        if (spanLog) {
+        const bool artifactTrace = spanLog && !internalTrace;
+        if (artifactTrace) {
             result.attribution.merge(spanLog->attribution());
             result.spanDrops += spanLog->dropped();
             if (params.keepSpans && run_idx == 0)
                 result.spans = spanLog->snapshot();
         }
-        if (spanLog || params.faults) {
+        if (artifactTrace || params.faults) {
             afa::obs::MetricsRegistry registry;
             system.publishMetrics(registry);
-            if (spanLog) {
+            if (artifactTrace) {
                 registry.addCounter("obs.spans_recorded",
                                     spanLog->recorded());
                 registry.addCounter("obs.span_drops",

@@ -20,6 +20,7 @@
 #include "obs/attribution.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/telemetry.hh"
 #include "stats/scatter_log.hh"
 #include "stats/summary.hh"
 #include "workload/fio_job.hh"
@@ -132,6 +133,16 @@ struct ExperimentParams
      * result even when tracing is off.
      */
     std::shared_ptr<const afa::fault::FaultPlan> faults;
+
+    /**
+     * Telemetry sampling window in ticks (0 = off). Non-zero slices
+     * the run into simulated-time windows of per-stage latency
+     * histograms, sampled counter/gauge series, and the simulator's
+     * self-profile (DESIGN.md §14). Sampling rides internal shard-0
+     * events, so every canonical report is byte-identical with
+     * telemetry on or off.
+     */
+    afa::sim::Tick telemetryWindow = 0;
 };
 
 /** Result of one experiment (merged across geometry runs). */
@@ -171,6 +182,10 @@ struct ExperimentResult
 
     /** End-of-run component counters (traceMask != 0). */
     afa::obs::MetricsSnapshot systemMetrics;
+
+    /** Windowed telemetry timeline (telemetryWindow != 0), merged
+     *  across geometry runs and seed replicas. */
+    afa::obs::TelemetryTimeline telemetry;
 };
 
 /** Runs experiments. */

@@ -211,6 +211,7 @@ ParallelExperimentRunner::mergeReplicas(
         merged.attribution.merge(r.attribution);
         merged.spanDrops += r.spanDrops;
         merged.systemMetrics.merge(r.systemMetrics);
+        merged.telemetry.merge(r.telemetry);
         // Raw spans stay those of the first replica: one run's
         // timeline is what Perfetto export wants.
     }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/telemetry.hh"
 #include "sim/logging.hh"
 #include "stats/json.hh"
 
@@ -49,7 +50,8 @@ flagNames(std::uint8_t flags)
 } // namespace
 
 std::string
-perfettoJson(const std::vector<SpanRecord> &spans)
+perfettoJson(const std::vector<SpanRecord> &spans,
+             const TelemetryTimeline *telemetry)
 {
     // Metadata first: one named thread per distinct track, sorted so
     // the document is deterministic regardless of span order.
@@ -97,13 +99,61 @@ perfettoJson(const std::vector<SpanRecord> &spans)
             usec(s.duration()).c_str(), args.c_str()));
     }
 
+    if (telemetry != nullptr && !telemetry->empty() &&
+        telemetry->window != 0) {
+        const Tick window = telemetry->window;
+        // Counter samples summarise [w*W, (w+1)*W); stamp them at the
+        // window end so the track steps where the window closes.
+        auto end_ts = [window](std::uint64_t w) {
+            return usec((Tick(w) + 1) * window);
+        };
+
+        for (const auto &[name, series] : telemetry->series) {
+            const std::string track =
+                afa::stats::jsonEscape(name);
+            for (const auto &[w, point] : series.points) {
+                std::string value =
+                    series.kind == MetricKind::Gauge
+                        ? afa::sim::strfmt("%g", point.value)
+                        : afa::sim::strfmt(
+                              "%llu",
+                              (unsigned long long)point.delta);
+                emit(afa::sim::strfmt(
+                    "{\"ph\": \"C\", \"pid\": 1, \"name\": \"%s\", "
+                    "\"ts\": %s, \"args\": {\"value\": %s}}",
+                    track.c_str(), end_ts(w).c_str(),
+                    value.c_str()));
+            }
+        }
+
+        for (const auto &[w, row] : telemetry->stages) {
+            for (const auto &[stage_id, cell] : row) {
+                const char *stage =
+                    stageName(static_cast<Stage>(stage_id));
+                emit(afa::sim::strfmt(
+                    "{\"ph\": \"C\", \"pid\": 1, "
+                    "\"name\": \"stage.%s.ops\", "
+                    "\"ts\": %s, \"args\": {\"value\": %llu}}",
+                    stage, end_ts(w).c_str(),
+                    (unsigned long long)cell.count));
+                emit(afa::sim::strfmt(
+                    "{\"ph\": \"C\", \"pid\": 1, "
+                    "\"name\": \"stage.%s.p99_us\", "
+                    "\"ts\": %s, \"args\": {\"value\": %s}}",
+                    stage, end_ts(w).c_str(),
+                    usec(cell.quantileTicks(0.99)).c_str()));
+            }
+        }
+    }
+
     json += "\n  ]\n}\n";
     return json;
 }
 
 bool
 writePerfettoJson(const std::string &path,
-                  const std::vector<SpanRecord> &spans)
+                  const std::vector<SpanRecord> &spans,
+                  const TelemetryTimeline *telemetry)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out) {
@@ -111,7 +161,7 @@ writePerfettoJson(const std::string &path,
                        path.c_str());
         return false;
     }
-    out << perfettoJson(spans);
+    out << perfettoJson(spans, telemetry);
     out.close();
     if (!out) {
         afa::sim::warn("perfetto: short write to '%s'", path.c_str());

@@ -8,6 +8,12 @@
  * ("X") event with microsecond ts/dur and the IO tag, flags and
  * stage-specific detail in args. Ticks are nanoseconds, so ts/dur
  * printed with three decimals round-trip exactly.
+ *
+ * When a TelemetryTimeline is supplied, its windowed series are
+ * merged into the same document as counter ("C") events: one track
+ * per registered counter/gauge source, plus per-stage ops and p99
+ * tracks derived from the windowed histograms. Counter samples are
+ * stamped at the end of the window they summarise.
  */
 
 #ifndef AFA_OBS_PERFETTO_HH
@@ -20,15 +26,24 @@
 
 namespace afa::obs {
 
-/** Render @p spans as a trace-event JSON document. */
-std::string perfettoJson(const std::vector<SpanRecord> &spans);
+struct TelemetryTimeline;
+
+/**
+ * Render @p spans as a trace-event JSON document. With a non-null
+ * @p telemetry, windowed counter tracks are appended after the span
+ * events in a deterministic order (source name, then window; then
+ * stage tracks by window and stage id).
+ */
+std::string perfettoJson(const std::vector<SpanRecord> &spans,
+                         const TelemetryTimeline *telemetry = nullptr);
 
 /**
  * Write perfettoJson() to @p path. Returns false (with a warning)
  * when the file cannot be written.
  */
 bool writePerfettoJson(const std::string &path,
-                       const std::vector<SpanRecord> &spans);
+                       const std::vector<SpanRecord> &spans,
+                       const TelemetryTimeline *telemetry = nullptr);
 
 } // namespace afa::obs
 

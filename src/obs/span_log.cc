@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/telemetry.hh"
 #include "sim/shard.hh"
 
 namespace afa::obs {
@@ -42,6 +43,8 @@ SpanLog::record(Stage stage, std::uint64_t io, Tick begin, Tick end,
 
     ++lane.numRecorded;
     lane.accum.add(stage, end - begin);
+    if (telemetry_ != nullptr)
+        telemetry_->recordSpan(stage, end, end - begin);
 
     SpanRecord rec;
     rec.begin = begin;

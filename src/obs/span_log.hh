@@ -39,6 +39,8 @@
 
 namespace afa::obs {
 
+class Telemetry;
+
 /** SpanLog construction parameters. */
 struct TraceParams
 {
@@ -112,6 +114,15 @@ class SpanLog
     /** Drop retained records and reset counters and totals. */
     void clear();
 
+    /**
+     * Attach a telemetry sink: every record() additionally feeds the
+     * sink's windowed per-stage histograms (same shard lane, same
+     * exactness guarantee as the Attribution accumulators — ring
+     * wraps and drops never lose a windowed count). nullptr detaches;
+     * the sink must outlive the log while attached.
+     */
+    void setTelemetry(Telemetry *sink) { telemetry_ = sink; }
+
   private:
     /** One shard's private ring + accumulators (cache-line padded so
      *  concurrent lanes never false-share). */
@@ -127,6 +138,7 @@ class SpanLog
 
     std::uint32_t mask_;
     std::vector<Lane> lanes;
+    Telemetry *telemetry_ = nullptr;
 };
 
 } // namespace afa::obs

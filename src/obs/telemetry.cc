@@ -1,0 +1,597 @@
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+
+#include "sim/shard.hh"
+#include "stats/json.hh"
+
+namespace afa::obs {
+
+// ---------------------------------------------------------------------
+// WindowStageCell
+// ---------------------------------------------------------------------
+
+void
+WindowStageCell::add(Tick duration)
+{
+    ++count;
+    totalTicks += duration;
+    maxTicks = std::max(maxTicks, duration);
+    ++buckets[std::bit_width(duration)];
+    // Millisecond thresholds are not log2 boundaries in ticks, so the
+    // ACT counters are exact dedicated comparisons, not bucket sums.
+    for (unsigned k = 0; k < kActThresholds; ++k)
+        if (duration > actThresholdTicks(k))
+            ++exceed[k];
+        else
+            break;
+}
+
+void
+WindowStageCell::merge(const WindowStageCell &other)
+{
+    count += other.count;
+    totalTicks += other.totalTicks;
+    maxTicks = std::max(maxTicks, other.maxTicks);
+    for (unsigned i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+    for (unsigned k = 0; k < kActThresholds; ++k)
+        exceed[k] += other.exceed[k];
+}
+
+double
+WindowStageCell::meanTicks() const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(totalTicks) /
+        static_cast<double>(count);
+}
+
+Tick
+WindowStageCell::quantileTicks(double q) const
+{
+    if (count == 0)
+        return 0;
+    auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(count));
+    target = std::min(target, count - 1);
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (seen + buckets[i] > target) {
+            if (i == 0)
+                return 0;
+            // bit_width(d) == i covers [2^(i-1), 2^i - 1]; place the
+            // target rank linearly inside the bucket.
+            const Tick lo = Tick(1) << (i - 1);
+            const Tick hi = i >= kBuckets - 1
+                ? maxTicks
+                : std::min(maxTicks, (Tick(1) << i) - 1);
+            const std::uint64_t pos = target - seen;
+            const std::uint64_t den =
+                buckets[i] > 1 ? buckets[i] - 1 : 1;
+            return lo +
+                static_cast<Tick>(static_cast<double>(hi - lo) *
+                                  static_cast<double>(pos) /
+                                  static_cast<double>(den));
+        }
+        seen += buckets[i];
+    }
+    return maxTicks;
+}
+
+// ---------------------------------------------------------------------
+// TelemetryTimeline
+// ---------------------------------------------------------------------
+
+bool
+TelemetryTimeline::empty() const
+{
+    return stages.empty() && series.empty() && sim.empty();
+}
+
+const TelemetryTimeline::Point *
+TelemetryTimeline::seriesPoint(const std::string &name,
+                               std::uint64_t w) const
+{
+    const auto s = series.find(name);
+    if (s == series.end())
+        return nullptr;
+    const auto p = s->second.points.find(w);
+    return p == s->second.points.end() ? nullptr : &p->second;
+}
+
+void
+TelemetryTimeline::merge(const TelemetryTimeline &other)
+{
+    if (window == 0)
+        window = other.window;
+    for (const auto &[w, row] : other.stages)
+        for (const auto &[stage, cell] : row)
+            stages[w][stage].merge(cell);
+    for (const auto &[name, s] : other.series) {
+        Series &mine = series[name];
+        mine.kind = s.kind;
+        for (const auto &[w, p] : s.points) {
+            Point &q = mine.points[w];
+            if (s.kind == MetricKind::Gauge)
+                q.value = std::max(q.value, p.value);
+            else
+                q.delta += p.delta;
+        }
+    }
+    for (const auto &[w, sw] : other.sim) {
+        SimWindow &mine = sim[w];
+        if (mine.shards.size() < sw.shards.size())
+            mine.shards.resize(sw.shards.size());
+        for (std::size_t s = 0; s < sw.shards.size(); ++s) {
+            mine.shards[s].executedEvents +=
+                sw.shards[s].executedEvents;
+            mine.shards[s].plumbingEvents +=
+                sw.shards[s].plumbingEvents;
+            mine.shards[s].crossPosts += sw.shards[s].crossPosts;
+            mine.shards[s].barrierWaitNanos +=
+                sw.shards[s].barrierWaitNanos;
+        }
+        mine.windows += sw.windows;
+        mine.mailboxDrained += sw.mailboxDrained;
+    }
+}
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof(buf), format, ap);
+    va_end(ap);
+    return buf;
+}
+
+double
+usec(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+double
+msecOf(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Every window index any part of the timeline touches, ascending. */
+std::set<std::uint64_t>
+windowSet(const TelemetryTimeline &tl)
+{
+    std::set<std::uint64_t> out;
+    for (const auto &[w, row] : tl.stages)
+        out.insert(w);
+    for (const auto &[name, s] : tl.series)
+        for (const auto &[w, p] : s.points)
+            out.insert(w);
+    for (const auto &[w, sw] : tl.sim)
+        out.insert(w);
+    return out;
+}
+
+/** Emit one window's rows in the canonical order: stage rows by
+ *  stage id, source rows by name, sim rows by shard, then the
+ *  core-global row (only when it carries information). */
+void
+jsonRowsForWindow(const TelemetryTimeline &tl, std::uint64_t w,
+                  std::vector<std::string> &rows)
+{
+    const double end_ms =
+        msecOf(static_cast<Tick>(w + 1) * tl.window);
+    auto sit = tl.stages.find(w);
+    if (sit != tl.stages.end()) {
+        for (const auto &[stage, cell] : sit->second) {
+            std::string row = fmt(
+                "{\"kind\":\"stage\",\"window\":%" PRIu64
+                ",\"end_ms\":%.3f,\"stage\":\"%s\",\"count\":%" PRIu64
+                ",\"mean_us\":%.3f,\"p50_us\":%.3f,\"p99_us\":%.3f,"
+                "\"p999_us\":%.3f,\"max_us\":%.3f,\"exceed\":[",
+                w, end_ms,
+                stageName(static_cast<Stage>(stage)), cell.count,
+                cell.meanTicks() / 1e3,
+                usec(cell.quantileTicks(0.50)),
+                usec(cell.quantileTicks(0.99)),
+                usec(cell.quantileTicks(0.999)),
+                usec(cell.maxTicks));
+            for (unsigned k = 0; k < kActThresholds; ++k)
+                row += fmt("%s%" PRIu64, k ? "," : "",
+                           cell.exceed[k]);
+            row += "]}";
+            rows.push_back(std::move(row));
+        }
+    }
+    for (const auto &[name, s] : tl.series) {
+        auto pit = s.points.find(w);
+        if (pit == s.points.end())
+            continue;
+        if (s.kind == MetricKind::Gauge)
+            rows.push_back(fmt(
+                "{\"kind\":\"gauge\",\"window\":%" PRIu64
+                ",\"end_ms\":%.3f,\"name\":\"%s\",\"value\":%g}",
+                w, end_ms, afa::stats::jsonEscape(name).c_str(),
+                pit->second.value));
+        else
+            rows.push_back(fmt(
+                "{\"kind\":\"counter\",\"window\":%" PRIu64
+                ",\"end_ms\":%.3f,\"name\":\"%s\",\"delta\":%" PRIu64
+                "}",
+                w, end_ms, afa::stats::jsonEscape(name).c_str(),
+                pit->second.delta));
+    }
+    auto mit = tl.sim.find(w);
+    if (mit != tl.sim.end()) {
+        const TelemetryTimeline::SimWindow &sw = mit->second;
+        for (std::size_t s = 0; s < sw.shards.size(); ++s) {
+            const afa::sim::ShardStat &st = sw.shards[s];
+            std::string row = fmt(
+                "{\"kind\":\"sim\",\"window\":%" PRIu64
+                ",\"end_ms\":%.3f,\"shard\":%zu,\"executed\":%" PRIu64
+                ",\"plumbing\":%" PRIu64 ",\"cross_posts\":%" PRIu64,
+                w, end_ms, s, st.executedEvents, st.plumbingEvents,
+                st.crossPosts);
+            // Wall time is host noise: emitted only when present so
+            // serial timelines stay deterministic artifacts.
+            if (st.barrierWaitNanos != 0)
+                row += fmt(",\"barrier_wait_ms\":%.3f",
+                           static_cast<double>(st.barrierWaitNanos) /
+                               1e6);
+            row += "}";
+            rows.push_back(std::move(row));
+        }
+        if (sw.windows != 0 || sw.mailboxDrained != 0)
+            rows.push_back(fmt(
+                "{\"kind\":\"sim_total\",\"window\":%" PRIu64
+                ",\"end_ms\":%.3f,\"windows\":%" PRIu64
+                ",\"mailbox_drained\":%" PRIu64 "}",
+                w, end_ms, sw.windows, sw.mailboxDrained));
+    }
+}
+
+std::vector<std::string>
+jsonRows(const TelemetryTimeline &tl)
+{
+    std::vector<std::string> rows;
+    std::string header = fmt(
+        "{\"kind\":\"header\",\"window_ms\":%.3f,"
+        "\"act_thresholds_ms\":[",
+        msecOf(tl.window));
+    for (unsigned k = 0; k < kActThresholds; ++k)
+        header += fmt("%s%" PRIu64, k ? "," : "",
+                      static_cast<std::uint64_t>(1) << k);
+    header += "]}";
+    rows.push_back(std::move(header));
+    for (std::uint64_t w : windowSet(tl))
+        jsonRowsForWindow(tl, w, rows);
+    return rows;
+}
+
+} // namespace
+
+std::string
+TelemetryTimeline::toJsonLines() const
+{
+    std::string out;
+    for (const std::string &row : jsonRows(*this)) {
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+TelemetryTimeline::toJson(const std::string &indent) const
+{
+    std::string out = "[";
+    bool first = true;
+    for (const std::string &row : jsonRows(*this)) {
+        out += first ? "\n" : ",\n";
+        out += indent;
+        out += row;
+        first = false;
+    }
+    out += "\n";
+    out += "]";
+    return out;
+}
+
+std::string
+TelemetryTimeline::toCsv() const
+{
+    // Fixed tidy schema; every row fills the cells its kind owns and
+    // leaves the rest empty.
+    enum Col : unsigned {
+        kWindow = 0, kEndMs, kKind, kName, kCount, kMean, kP50, kP99,
+        kP999, kMax, kExceed0, // ... kExceed0 + kActThresholds - 1
+        kDelta = kExceed0 + kActThresholds, kValue, kExecuted,
+        kPlumbing, kCrossPosts, kWindows, kMailbox, kBarrierWait,
+        kCols,
+    };
+    std::vector<std::string> cells(kCols);
+    auto flush = [&cells](std::string &out) {
+        for (unsigned c = 0; c < kCols; ++c) {
+            if (c)
+                out += ',';
+            out += cells[c];
+        }
+        out += '\n';
+        for (std::string &cell : cells)
+            cell.clear();
+    };
+
+    std::string out =
+        "window,end_ms,kind,name,count,mean_us,p50_us,p99_us,"
+        "p999_us,max_us";
+    for (unsigned k = 0; k < kActThresholds; ++k)
+        out += fmt(",exceed_%" PRIu64 "ms",
+                   static_cast<std::uint64_t>(1) << k);
+    out += ",delta,value,executed,plumbing,cross_posts,windows,"
+           "mailbox_drained,barrier_wait_ms\n";
+
+    for (std::uint64_t w : windowSet(*this)) {
+        const std::string win = fmt("%" PRIu64, w);
+        const std::string end_ms =
+            fmt("%.3f", msecOf(static_cast<Tick>(w + 1) * window));
+        auto sit = stages.find(w);
+        if (sit != stages.end())
+            for (const auto &[stage, cell] : sit->second) {
+                cells[kWindow] = win;
+                cells[kEndMs] = end_ms;
+                cells[kKind] = "stage";
+                cells[kName] =
+                    stageName(static_cast<Stage>(stage));
+                cells[kCount] = fmt("%" PRIu64, cell.count);
+                cells[kMean] = fmt("%.3f", cell.meanTicks() / 1e3);
+                cells[kP50] =
+                    fmt("%.3f", usec(cell.quantileTicks(0.50)));
+                cells[kP99] =
+                    fmt("%.3f", usec(cell.quantileTicks(0.99)));
+                cells[kP999] =
+                    fmt("%.3f", usec(cell.quantileTicks(0.999)));
+                cells[kMax] = fmt("%.3f", usec(cell.maxTicks));
+                for (unsigned k = 0; k < kActThresholds; ++k)
+                    cells[kExceed0 + k] =
+                        fmt("%" PRIu64, cell.exceed[k]);
+                flush(out);
+            }
+        for (const auto &[name, s] : series) {
+            auto pit = s.points.find(w);
+            if (pit == s.points.end())
+                continue;
+            cells[kWindow] = win;
+            cells[kEndMs] = end_ms;
+            cells[kName] = name;
+            if (s.kind == MetricKind::Gauge) {
+                cells[kKind] = "gauge";
+                cells[kValue] = fmt("%g", pit->second.value);
+            } else {
+                cells[kKind] = "counter";
+                cells[kDelta] = fmt("%" PRIu64, pit->second.delta);
+            }
+            flush(out);
+        }
+        auto mit = sim.find(w);
+        if (mit != sim.end()) {
+            const SimWindow &sw = mit->second;
+            for (std::size_t s = 0; s < sw.shards.size(); ++s) {
+                const afa::sim::ShardStat &st = sw.shards[s];
+                cells[kWindow] = win;
+                cells[kEndMs] = end_ms;
+                cells[kKind] = "sim";
+                cells[kName] = fmt("shard%zu", s);
+                cells[kExecuted] =
+                    fmt("%" PRIu64, st.executedEvents);
+                cells[kPlumbing] =
+                    fmt("%" PRIu64, st.plumbingEvents);
+                cells[kCrossPosts] =
+                    fmt("%" PRIu64, st.crossPosts);
+                if (st.barrierWaitNanos != 0)
+                    cells[kBarrierWait] = fmt(
+                        "%.3f",
+                        static_cast<double>(st.barrierWaitNanos) /
+                            1e6);
+                flush(out);
+            }
+            if (sw.windows != 0 || sw.mailboxDrained != 0) {
+                cells[kWindow] = win;
+                cells[kEndMs] = end_ms;
+                cells[kKind] = "sim_total";
+                cells[kName] = "core";
+                cells[kWindows] = fmt("%" PRIu64, sw.windows);
+                cells[kMailbox] =
+                    fmt("%" PRIu64, sw.mailboxDrained);
+                flush(out);
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+Telemetry::Telemetry(const TelemetryParams &params)
+    : windowTicks(params.window)
+{
+    lanes.resize(std::max(1u, params.shards));
+}
+
+void
+Telemetry::recordSpan(Stage stage, Tick end, Tick duration)
+{
+    if (windowTicks == 0)
+        return;
+    const unsigned shard = afa::sim::currentShard();
+    Lane &lane = lanes[shard < lanes.size() ? shard : 0];
+    const std::uint64_t w = end / windowTicks;
+    if (w != lane.cachedWindow || lane.cachedRow == nullptr) {
+        lane.cachedRow = &lane.windows[w];
+        lane.cachedWindow = w;
+    }
+    (*lane.cachedRow)[static_cast<std::uint8_t>(stage)].add(duration);
+}
+
+void
+Telemetry::addCounter(const std::string &name,
+                      std::function<std::uint64_t()> fn)
+{
+    Source src;
+    src.name = name;
+    src.kind = MetricKind::Counter;
+    src.counterFn = std::move(fn);
+    sources.push_back(std::move(src));
+}
+
+void
+Telemetry::addGauge(const std::string &name,
+                    std::function<double()> fn)
+{
+    Source src;
+    src.name = name;
+    src.kind = MetricKind::Gauge;
+    src.gaugeFn = std::move(fn);
+    sources.push_back(std::move(src));
+}
+
+void
+Telemetry::start(afa::sim::Simulator &sim)
+{
+    if (windowTicks == 0)
+        return;
+    simPtr = &sim;
+    stopped = false;
+    scheduleSample((sim.now() / windowTicks + 1) * windowTicks);
+}
+
+void
+Telemetry::scheduleSample(Tick when)
+{
+    // The sampling event is engine plumbing: internal=true keeps it
+    // out of executedEvents(), shard 0 holds every sampled source,
+    // and the top ordering band puts the sample after all of the
+    // tick's model events at any shard count.
+    sampleHandle = simPtr->scheduleOnShard(
+        0, when, [this] { onSample(); },
+        /*internal=*/true, kSampleOrderBand);
+}
+
+void
+Telemetry::onSample()
+{
+    sampleHandle = afa::sim::EventHandle{};
+    const Tick now = simPtr->now();
+    sampleWindow(now / windowTicks - 1);
+    if (!stopped)
+        scheduleSample(now + windowTicks);
+}
+
+void
+Telemetry::sampleWindow(std::uint64_t window_idx)
+{
+    SampleRow row;
+    row.counters.reserve(sources.size());
+    row.gauges.reserve(sources.size());
+    for (const Source &src : sources) {
+        if (src.kind == MetricKind::Gauge) {
+            row.counters.push_back(0);
+            row.gauges.push_back(src.gaugeFn ? src.gaugeFn() : 0.0);
+        } else {
+            row.counters.push_back(
+                src.counterFn ? src.counterFn() : 0);
+            row.gauges.push_back(0.0);
+        }
+    }
+    row.profile = simPtr->shardStats();
+    samples[window_idx] = std::move(row);
+}
+
+void
+Telemetry::finish()
+{
+    if (simPtr == nullptr || stopped) {
+        stopped = true;
+        return;
+    }
+    stopped = true;
+    if (sampleHandle.valid()) {
+        simPtr->cancel(sampleHandle);
+        sampleHandle = afa::sim::EventHandle{};
+    }
+    // Cover the trailing partial window (or refresh the boundary
+    // window when the run ended exactly on one).
+    sampleWindow(simPtr->now() / windowTicks);
+}
+
+TelemetryTimeline
+Telemetry::timeline() const
+{
+    TelemetryTimeline tl;
+    tl.window = windowTicks;
+    if (windowTicks == 0)
+        return tl;
+    for (const Lane &lane : lanes)
+        for (const auto &[w, row] : lane.windows)
+            for (const auto &[stage, cell] : row)
+                tl.stages[w][stage].merge(cell);
+
+    // Cumulative samples become per-window deltas (gauges stay
+    // instantaneous); the map iterates windows in ascending order so
+    // each row subtracts its predecessor.
+    std::vector<std::uint64_t> prevCounters(sources.size(), 0);
+    afa::sim::SimProfile prevProfile;
+    for (const auto &[w, row] : samples) {
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            TelemetryTimeline::Series &s =
+                tl.series[sources[i].name];
+            s.kind = sources[i].kind;
+            TelemetryTimeline::Point p;
+            if (sources[i].kind == MetricKind::Gauge)
+                p.value = row.gauges[i];
+            else
+                p.delta = row.counters[i] - prevCounters[i];
+            s.points[w] = p;
+        }
+        TelemetryTimeline::SimWindow sw;
+        sw.shards.resize(row.profile.shards.size());
+        for (std::size_t s = 0; s < row.profile.shards.size(); ++s) {
+            const afa::sim::ShardStat &cur = row.profile.shards[s];
+            afa::sim::ShardStat prev =
+                s < prevProfile.shards.size()
+                    ? prevProfile.shards[s]
+                    : afa::sim::ShardStat{};
+            sw.shards[s].executedEvents =
+                cur.executedEvents - prev.executedEvents;
+            sw.shards[s].plumbingEvents =
+                cur.plumbingEvents - prev.plumbingEvents;
+            sw.shards[s].crossPosts =
+                cur.crossPosts - prev.crossPosts;
+            sw.shards[s].barrierWaitNanos =
+                cur.barrierWaitNanos - prev.barrierWaitNanos;
+        }
+        sw.windows = row.profile.windows - prevProfile.windows;
+        sw.mailboxDrained =
+            row.profile.mailboxDrained - prevProfile.mailboxDrained;
+        tl.sim[w] = std::move(sw);
+        prevCounters = row.counters;
+        prevProfile = row.profile;
+    }
+    return tl;
+}
+
+} // namespace afa::obs

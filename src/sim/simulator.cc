@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <thread>
 
 #include "sim/logging.hh"
@@ -53,6 +54,8 @@ Simulator::scheduleOnShard(unsigned shard, Tick when, EventFn fn,
     checkShardId(shard);
     const unsigned cur = t_currentShard;
     Shard &src = *shardStates[cur];
+    if (shard != cur)
+        ++src.crossPosts;
     if (!parallelPhase || shard == cur) {
         // Direct path: setup code, serial runs, or a same-shard post.
         // The handle is a plain queue handle of the *target* shard;
@@ -63,6 +66,11 @@ Simulator::scheduleOnShard(unsigned shard, Tick when, EventFn fn,
         if (!internal)
             return dst.q.schedule(when, std::move(fn), order);
         Shard *dp = &dst;
+        // Plumbing is counted before the callback on purpose: the
+        // queue's executed counter increments at pop time, so an
+        // internal event observing shardStats() mid-callback (a
+        // telemetry sample) sees executed - plumbing with itself in
+        // both counters — i.e. exactly the model events so far.
         return dst.q.schedule(when, [dp, f = std::move(fn)]() mutable {
             ++dp->plumbing;
             f();
@@ -209,6 +217,10 @@ Simulator::fireCross(CrossMsg *msg, unsigned src, std::uint32_t idx)
     // always live. The slot itself is recycled by the leader at the
     // next barrier, via this shard's retired list.
     Shard &here = *shardStates[t_currentShard];
+    // Before the callback, matching the queue's pop-time executed
+    // counter (see the same-shard internal wrapper in
+    // scheduleOnShard): a sample reading shardStats() mid-callback
+    // sees itself in both counters.
     if (msg->internal)
         ++here.plumbing;
     EventFn fn = std::move(msg->fn);
@@ -230,6 +242,35 @@ std::uint64_t
 Simulator::executedEvents() const
 {
     return modelExecuted();
+}
+
+void
+Simulator::collectProfile(SimProfile &out) const
+{
+    out.shards.resize(shardStates.size());
+    for (std::size_t s = 0; s < shardStates.size(); ++s) {
+        const Shard &sh = *shardStates[s];
+        ShardStat &st = out.shards[s];
+        st.executedEvents = sh.q.executed() - sh.plumbing;
+        st.plumbingEvents = sh.plumbing;
+        st.crossPosts = sh.crossPosts;
+        st.barrierWaitNanos = sh.barrierWaitNanos;
+    }
+    out.windows = windowCount;
+    out.mailboxDrained = mailboxDrainedCount;
+}
+
+SimProfile
+Simulator::shardStats() const
+{
+    // During a parallel run the live per-shard counters belong to
+    // their worker threads; hand out the barrier-synchronised
+    // snapshot the leader refreshed in planRound() instead.
+    if (workersRunning)
+        return profileSnapshot;
+    SimProfile profile;
+    collectProfile(profile);
+    return profile;
 }
 
 std::size_t
@@ -281,6 +322,7 @@ Simulator::runParallel(Tick until)
     stopRequested.store(false, std::memory_order_relaxed);
     const std::uint64_t before = modelExecuted();
     parallelPhase = true;
+    workersRunning = true;
     roundDone = false;
     std::barrier<> gate(
         static_cast<std::ptrdiff_t>(shardStates.size()));
@@ -293,10 +335,19 @@ Simulator::runParallel(Tick until)
         t_currentShard = s;
         Shard &sh = *shardStates[s];
         for (;;) {
+            // Wall clock feeds the self-profiling barrier-stall
+            // counter only; it never reaches simulated state.
+            const auto wait_from = // detlint:allow(wall-clock)
+                std::chrono::steady_clock::now();
             gate.arrive_and_wait();
             if (s == 0)
                 planRound(until);
             gate.arrive_and_wait();
+            sh.barrierWaitNanos += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - // detlint:allow(wall-clock)
+                    wait_from)
+                    .count());
             if (roundDone)
                 break;
             const Tick bound = roundBound;
@@ -319,6 +370,7 @@ Simulator::runParallel(Tick until)
     body(0);
     for (auto &w : workers)
         w.join();
+    workersRunning = false;
     parallelPhase = false;
     return modelExecuted() - before;
 }
@@ -358,6 +410,7 @@ Simulator::drainMailboxes()
                 [this, m, s, idx] { fireCross(m, s, idx); },
                 m->order);
             m->state = kMsgQueued;
+            ++mailboxDrainedCount;
         }
         src.outbox.clear();
     }
@@ -367,6 +420,11 @@ void
 Simulator::planRound(Tick until)
 {
     drainMailboxes();
+
+    // Workers are parked between the two barriers, so the per-shard
+    // counters are quiescent: refresh the snapshot shard-0 telemetry
+    // events read during the coming window.
+    collectProfile(profileSnapshot);
 
     if (stopRequested.load(std::memory_order_relaxed)) {
         finishRound(until, EndReason::Stopped);
@@ -391,6 +449,7 @@ Simulator::planRound(Tick until)
         std::min(until, next > kMaxTick - horizon ? kMaxTick
                                                   : next + horizon);
     roundDone = false;
+    ++windowCount;
 }
 
 void

@@ -49,6 +49,36 @@
 namespace afa::sim {
 
 /**
+ * Per-shard execution counters for the simulator's self-profiling
+ * source (telemetry). All simulated-time fields are bit-identical
+ * across replays of the same configuration; barrierWaitNanos is host
+ * wall time and is diagnostic only.
+ */
+struct ShardStat
+{
+    /** Model events executed on this shard (plumbing excluded). */
+    std::uint64_t executedEvents = 0;
+    /** Internal engine events (mailbox ships, telemetry samples). */
+    std::uint64_t plumbingEvents = 0;
+    /** scheduleOnShard() posts from this shard to a different one. */
+    std::uint64_t crossPosts = 0;
+    /** Host wall time this shard's thread spent parked at window
+     *  barriers (includes the leader's drain/plan work for shard 0;
+     *  zero in serial runs). */
+    std::uint64_t barrierWaitNanos = 0;
+};
+
+/** Snapshot returned by Simulator::shardStats(). */
+struct SimProfile
+{
+    std::vector<ShardStat> shards;
+    /** Barrier-delimited execution windows planned so far. */
+    std::uint64_t windows = 0;
+    /** Cross-shard messages enqueued by the leader at barriers. */
+    std::uint64_t mailboxDrained = 0;
+};
+
+/**
  * Discrete-event simulator: per-shard clocks and event queues, an
  * inter-shard mailbox, and a root RNG.
  */
@@ -218,6 +248,20 @@ class Simulator
      *  value is bit-identical across shard counts. */
     std::uint64_t executedEvents() const;
 
+    /**
+     * Self-profiling snapshot: per-shard executed/plumbing event
+     * counts, cross-shard mailbox posts, barrier wait wall time, and
+     * the global window/drain counters.
+     *
+     * Safe to call from a shard-0 event during a parallel run: the
+     * leader refreshes the snapshot at every window barrier (while
+     * all workers are parked), and shard-0 events execute on the
+     * leader thread, so the read is same-thread and at most one
+     * window stale. Outside the parallel phase the snapshot is
+     * computed live.
+     */
+    SimProfile shardStats() const;
+
     /** The root random stream (fork children from this). */
     Rng &rng() { return rootRng; }
 
@@ -264,6 +308,8 @@ class Simulator
         EventQueue q;
         Tick clock = 0;
         std::uint64_t plumbing = 0; ///< internal events executed here
+        std::uint64_t crossPosts = 0; ///< posts to other shards
+        std::uint64_t barrierWaitNanos = 0; ///< wall ns at barriers
         std::vector<std::unique_ptr<CrossMsg>> slab;
         std::vector<std::uint32_t> freeSlab;
         std::vector<std::uint32_t> outbox;
@@ -301,6 +347,7 @@ class Simulator
     void recycleMsg(Shard &src, std::uint32_t idx);
     bool cancelCross(EventHandle handle, EventFn *reclaimed);
     std::uint64_t modelExecuted() const;
+    void collectProfile(SimProfile &out) const;
 
     [[noreturn]] static void panicPastEvent(Tick when, Tick now_tick);
     [[noreturn]] static void panicDelayOverflow();
@@ -310,6 +357,12 @@ class Simulator
     Tick roundBound = 0;
     bool roundDone = false;
     bool parallelPhase = false;
+    bool workersRunning = false; ///< inside runParallel()'s threads
+    std::uint64_t windowCount = 0;        ///< windows planned
+    std::uint64_t mailboxDrainedCount = 0; ///< messages enqueued
+    /** Leader-written at each barrier; read by shard-0 events (same
+     *  thread) while workers are parked. */
+    SimProfile profileSnapshot;
     std::atomic<bool> stopRequested;
     Rng rootRng;
 };

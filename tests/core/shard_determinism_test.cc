@@ -16,6 +16,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "core/run_plan.hh"
 #include "fault/fault_plan.hh"
 #include "obs/span.hh"
 #include "sim/logging.hh"
@@ -141,6 +142,74 @@ TEST_F(ShardDeterminismTest, FaultPlanAcrossShardBoundariesBitIdentical)
     params.traceMask = afa::obs::kAllCategories;
     const std::string traced_serial = runCanonical(params, 1);
     EXPECT_EQ(runCanonical(params, 4), traced_serial);
+}
+
+TEST_F(ShardDeterminismTest, TelemetryOnOffBitIdenticalAcrossShards)
+{
+    // The telemetry contract (DESIGN.md §14): sampling rides internal
+    // shard-0 events, so enabling --telemetry must leave every
+    // canonical report byte-identical, serial and sharded alike.
+    const auto params = baseParams(TuningProfile::Default);
+    for (unsigned shards : {1u, 4u}) {
+        auto off = params;
+        off.shards = shards;
+        const std::string base = canonical(ExperimentRunner::run(off));
+        auto on = off;
+        on.telemetryWindow = msec(10);
+        const auto result = ExperimentRunner::run(on);
+        EXPECT_EQ(canonical(result), base) << "shards=" << shards;
+        // And the run actually produced a timeline.
+        EXPECT_FALSE(result.telemetry.empty()) << "shards=" << shards;
+        EXPECT_FALSE(result.telemetry.stages.empty())
+            << "shards=" << shards;
+    }
+}
+
+TEST_F(ShardDeterminismTest, TelemetryModelRowsShardCountInvariant)
+{
+    // Stage histograms and counter/gauge series are model output:
+    // bit-identical at any shard count. The sim self-profile rows
+    // describe the engine (per-shard event counts) and are the one
+    // part of the timeline that legitimately differs, so they are
+    // stripped before comparing.
+    auto params = baseParams(TuningProfile::Default);
+    params.telemetryWindow = msec(10);
+    const auto model_rows = [](ExperimentResult r) {
+        r.telemetry.sim.clear();
+        return r.telemetry.toJsonLines();
+    };
+    auto p1 = params;
+    p1.shards = 1;
+    auto p4 = params;
+    p4.shards = 4;
+    const std::string serial = model_rows(ExperimentRunner::run(p1));
+    EXPECT_NE(serial.find("\"kind\":\"stage\""), std::string::npos);
+    EXPECT_EQ(model_rows(ExperimentRunner::run(p4)), serial);
+}
+
+TEST_F(ShardDeterminismTest, TelemetryOnOffBitIdenticalAcrossJobs)
+{
+    // The parallel sweep runner: 2 seed replicas rendered at jobs
+    // {1,4}, telemetry on and off — all four executions must agree
+    // on every canonical report, independent of worker count.
+    auto params = baseParams(TuningProfile::Default);
+    params.shards = 2;
+    const auto render = [&params](afa::sim::Tick window,
+                                  unsigned jobs) {
+        auto base = params;
+        base.telemetryWindow = window;
+        RunPlan plan(base);
+        plan.seeds(2);
+        ParallelExperimentRunner runner(jobs);
+        std::string out;
+        for (const auto &r : runner.run(plan.expand()))
+            out += canonical(r);
+        return out;
+    };
+    const std::string serial_off = render(0, 1);
+    EXPECT_EQ(render(0, 4), serial_off);
+    EXPECT_EQ(render(msec(10), 1), serial_off);
+    EXPECT_EQ(render(msec(10), 4), serial_off);
 }
 
 TEST_F(ShardDeterminismTest, EventCountSumsAcrossShards)

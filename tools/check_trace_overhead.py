@@ -23,15 +23,28 @@ the *same* binary (memory-bound benches especially), so both sides
 accept several interleaved rounds and compare per-benchmark medians
 across rounds -- the BENCH_simcore.json methodology.
 
+Benchmarks that *actively* record (the telemetry A/B pair
+BM_SpanLogRecordTelemetry / BM_TelemetryWindowedRun) are excluded
+from the cross-build ratio with --exclude: in the compiled-out
+baseline their instrumentation sites no-op, so their ratio would
+measure tracing itself rather than its disabled cost. The disabled
+telemetry path is gated instead by --require-ing the benchmarks that
+exercise the always-on simulator self-profiling code
+(BM_ShardedEventThroughput, BM_ShardedFig06Throughput): a silent
+drop of either from the comparison fails the gate.
+
 Usage:
     micro_simcore --benchmark_out=run.json --benchmark_out_format=json
     tools/check_trace_overhead.py a1.json a2.json \
-        --baseline b1.json --baseline b2.json
+        --baseline b1.json --baseline b2.json \
+        --exclude 'BM_SpanLogRecordTelemetry|BM_TelemetryWindowedRun' \
+        --require BM_ShardedEventThroughput/4
 """
 
 import argparse
 import json
 import math
+import re
 import statistics
 import sys
 
@@ -78,11 +91,31 @@ def main():
                              "BENCH_simcore.json]")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="max geomean slowdown, percent (default 2)")
+    parser.add_argument("--exclude", default=None,
+                        help="regex of benchmark names to drop from "
+                             "the comparison (benchmarks that "
+                             "actively record)")
+    parser.add_argument("--require", action="append", default=[],
+                        help="benchmark name that must be present in "
+                             "the comparison; repeatable. Guards "
+                             "against a gated code path silently "
+                             "disappearing from the A/B.")
     args = parser.parse_args()
 
     measured = median_times(args.measured)
     baseline = median_times(args.baseline or ["BENCH_simcore.json"])
     shared = sorted(set(measured) & set(baseline))
+    if args.exclude:
+        pattern = re.compile(args.exclude)
+        dropped = [n for n in shared if pattern.search(n)]
+        if dropped:
+            print("excluded from the ratio: %s" % ", ".join(dropped))
+        shared = [n for n in shared if not pattern.search(n)]
+    missing = [name for name in args.require if name not in shared]
+    if missing:
+        print("FAIL: required benchmark(s) missing from the "
+              "comparison: %s" % ", ".join(missing))
+        return 1
     if not shared:
         print("check_trace_overhead: no common benchmarks between "
               "%s and %s" % (args.measured, args.baseline))

@@ -41,6 +41,17 @@ contract:
                        the mutation to the owning shard through the
                        mailbox API, or annotate code that provably
                        runs on the owning shard.
+  telemetry-internal   (telemetry sources only) scheduling a sampling
+                       event without internal=true: the telemetry
+                       contract (DESIGN.md §14) is that canonical
+                       reports are byte-identical with --telemetry on
+                       and off, which only holds while every sampling
+                       event is engine plumbing. A scheduleOnShard()
+                       whose internal argument is not the literal
+                       `true` — including the 3-argument form, whose
+                       default is false — and any scheduleAt()/
+                       scheduleAfter() (which cannot mark events
+                       internal at all) make the sample model-visible.
 
 Escape hatch: a trailing or immediately preceding comment
 `// detlint:allow(<rule>[,<rule>...])` suppresses a diagnostic; every
@@ -107,6 +118,12 @@ RULES = {
                    "scheduleOnShard() post to the owning shard, not "
                    "touched directly; annotate shard-affine call "
                    "sites with detlint:allow(shard-state)",
+    "telemetry-internal": "telemetry sampling events must be posted "
+                          "with scheduleOnShard(..., /*internal=*/"
+                          "true, ...) or canonical reports stop being "
+                          "byte-identical with telemetry on/off; "
+                          "scheduleAt/scheduleAfter cannot mark "
+                          "events internal",
 }
 
 SIMPLE_PATTERNS = [
@@ -140,6 +157,10 @@ SHARD_STATE_RE = re.compile(
     r"(?:\.|->)\s*(?:setLimpFactor|setOffline|stallUntil)\s*\(")
 
 SCHEDULE_ON_SHARD_RE = re.compile(r"\bscheduleOnShard\s*\(")
+
+# Scoped to paths containing "telemetry": local-shard scheduling has
+# no internal flag, so sampling code must never use it.
+LOCAL_SCHEDULE_RE = re.compile(r"\bscheduleA(?:t|fter)\s*\(")
 
 UNORDERED_DECL_RE = re.compile(
     r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*&?\s*"
@@ -442,6 +463,49 @@ def schedule_on_shard_spans(text):
     return spans
 
 
+def top_level_call_args(text, start, end):
+    """Top-level argument substrings of the call whose name match
+    begins at @p start and whose balanced close is at @p end (the
+    schedule_on_shard_spans convention). Nested parentheses, brackets
+    and braces — lambda arguments especially — do not split."""
+    open_paren = text.index("(", start)
+    args = []
+    depth = 0
+    arg_start = open_paren + 1
+    for i in range(open_paren, end + 1):
+        c = text[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                args.append(text[arg_start:i])
+                break
+        elif c == "," and depth == 1:
+            args.append(text[arg_start:i])
+            arg_start = i + 1
+    return args
+
+
+def check_telemetry_internal(path, text, diags):
+    """Telemetry sampling must ride internal events: every
+    scheduleOnShard() in a telemetry source needs the literal `true`
+    as its 4th (internal) argument, and the local-shard schedulers
+    (no internal flag) are banned outright."""
+    for m in LOCAL_SCHEDULE_RE.finditer(text):
+        diags.append(Diagnostic(
+            path, line_of(text, m.start()), "telemetry-internal",
+            "scheduleAt/scheduleAfter cannot mark the event internal; "
+            "post the sample with scheduleOnShard(..., /*internal=*/"
+            "true, ...)"))
+    for start, end in schedule_on_shard_spans(text):
+        args = top_level_call_args(text, start, end)
+        internal = args[3].strip() if len(args) > 3 else ""
+        if internal != "true":
+            diags.append(Diagnostic(path, line_of(text, start),
+                                    "telemetry-internal"))
+
+
 def check_shard_state(path, text, diags):
     spans = None
     for m in SHARD_STATE_RE.finditer(text):
@@ -482,6 +546,8 @@ def check_file(path, display_path):
             diags.append(Diagnostic(display_path,
                                     line_of(text, m.start()),
                                     "fault-rng"))
+    if "telemetry" in display_path:
+        check_telemetry_internal(display_path, text, diags)
     check_shard_state(display_path, text, diags)
     check_unordered_iteration(display_path, text, diags)
     check_mutable_static(display_path, text, diags)

@@ -11,7 +11,7 @@ and admits rules that tokens cannot express at all.
 
 Ported rules (same names, same rationale as detlint.py):
   rand, wall-clock, random-device, unseeded-rng, unordered-iteration,
-  mutable-static, fault-rng, shard-state
+  mutable-static, fault-rng, shard-state, telemetry-internal
 
 AST-only rules:
   shard-capture        a lambda passed to scheduleOnShard() capturing
@@ -118,6 +118,10 @@ ENGINE_QNAMES = {
 }
 
 SHARD_MUTATORS = {"setLimpFactor", "setOffline", "stallUntil"}
+
+# Local-shard schedulers have no internal flag; banned in telemetry
+# sources (the telemetry-internal rule).
+LOCAL_SCHEDULERS = {"scheduleAt", "scheduleAfter"}
 
 # Functions allowed to cross the Tick <-> floating unit boundary: the
 # conversion helpers defined in src/sim/types.hh, plus the fast-path
@@ -545,9 +549,11 @@ class Analyzer:
         k = kname(cursor)
         path, _ = location_of(cursor)
         fault_file = bool(path) and "fault" in self._display_path(path)
+        telemetry_file = bool(path) and \
+            "telemetry" in self._display_path(path)
 
         if k == "CALL_EXPR":
-            self._check_call(cursor, ctx)
+            self._check_call(cursor, ctx, telemetry_file)
             ref = cursor.referenced
             if ref is not None and ref.spelling == "scheduleOnShard":
                 sub = dict(ctx, in_sched=True, in_sched_lambda=False)
@@ -577,7 +583,7 @@ class Analyzer:
 
     # -- ported rules -------------------------------------------------
 
-    def _check_call(self, cursor, ctx):
+    def _check_call(self, cursor, ctx, telemetry_file=False):
         ref = cursor.referenced
         if ref is None:
             return
@@ -597,6 +603,36 @@ class Analyzer:
             if parent is not None and \
                     parent.spelling.startswith("unordered_"):
                 self.report(cursor, "unordered-iteration")
+        if telemetry_file:
+            self._check_telemetry_schedule(cursor, spelling)
+
+    def _check_telemetry_schedule(self, cursor, spelling):
+        """telemetry-internal: in telemetry sources every
+        scheduleOnShard() must pass the literal `true` as its internal
+        argument (the 4th; libclang surfaces the defaulted `false` of
+        the 3-argument form as an argument cursor too, which the
+        literal check rejects just the same), and the local-shard
+        schedulers are banned because they cannot mark events
+        internal."""
+        if spelling in LOCAL_SCHEDULERS:
+            self.report(cursor, "telemetry-internal",
+                        "scheduleAt/scheduleAfter cannot mark the "
+                        "event internal; post the sample with "
+                        "scheduleOnShard(..., /*internal=*/true, ...)")
+        elif spelling == "scheduleOnShard":
+            args = self._call_args(cursor)
+            if len(args) < 4 or not self._is_true_literal(args[3]):
+                self.report(cursor, "telemetry-internal")
+
+    def _is_true_literal(self, expr):
+        e = unwrap(expr)
+        if kname(e) != "CXX_BOOL_LITERAL_EXPR":
+            return False
+        try:
+            tokens = [t.spelling for t in e.get_tokens()]
+        except (AttributeError, ValueError):
+            return False
+        return tokens[:1] == ["true"]
 
     def _check_var_decl(self, cursor, ctx, fault_file):
         try:

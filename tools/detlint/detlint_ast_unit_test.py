@@ -242,6 +242,83 @@ class SarifOutput(unittest.TestCase):
         json.dumps(doc)  # must be serialisable
 
 
+class TelemetryInternal(unittest.TestCase):
+    """Rule logic for telemetry-internal on fake call cursors."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.analyzer = da.Analyzer(self.tmp.name)
+        self.path = os.path.join(self.tmp.name, "obs", "telemetry.cc")
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def sched_call(self, name, args, line=1):
+        decl = FakeCursor("CXX_METHOD", spelling=name)
+        # Args as children; _call_args falls back to child filtering
+        # on fakes (no get_arguments), mirroring the dependent-call
+        # path of the real analyzer.
+        return FakeCursor("CALL_EXPR", spelling=name, children=args,
+                          referenced=decl, path=self.path, line=line,
+                          is_expr=True)
+
+    def bool_lit(self, spelling):
+        return FakeCursor("CXX_BOOL_LITERAL_EXPR", tokens=(spelling,),
+                          path=self.path, is_expr=True)
+
+    def fired(self):
+        return [(d.rule, d.line) for d in self.analyzer.results()]
+
+    def base_args(self):
+        return [FakeCursor("INTEGER_LITERAL", path=self.path,
+                           is_expr=True),
+                FakeCursor("INTEGER_LITERAL", path=self.path,
+                           is_expr=True),
+                FakeCursor("LAMBDA_EXPR", path=self.path,
+                           is_expr=True)]
+
+    def test_three_arg_form_fires(self):
+        call = self.sched_call("scheduleOnShard", self.base_args(),
+                               line=7)
+        self.analyzer._check_telemetry_schedule(call, "scheduleOnShard")
+        self.assertEqual(self.fired(), [("telemetry-internal", 7)])
+
+    def test_explicit_false_fires(self):
+        args = self.base_args() + [self.bool_lit("false"),
+                                   FakeCursor("INTEGER_LITERAL",
+                                              path=self.path,
+                                              is_expr=True)]
+        call = self.sched_call("scheduleOnShard", args, line=9)
+        self.analyzer._check_telemetry_schedule(call, "scheduleOnShard")
+        self.assertEqual(self.fired(), [("telemetry-internal", 9)])
+
+    def test_explicit_true_is_clean(self):
+        args = self.base_args() + [self.bool_lit("true"),
+                                   FakeCursor("INTEGER_LITERAL",
+                                              path=self.path,
+                                              is_expr=True)]
+        call = self.sched_call("scheduleOnShard", args)
+        self.analyzer._check_telemetry_schedule(call, "scheduleOnShard")
+        self.assertEqual(self.fired(), [])
+
+    def test_local_schedulers_fire(self):
+        for line, name in enumerate(("scheduleAt", "scheduleAfter"), 1):
+            call = self.sched_call(name, self.base_args()[:2],
+                                   line=line)
+            self.analyzer._check_telemetry_schedule(call, name)
+        self.assertEqual(self.fired(), [("telemetry-internal", 1),
+                                        ("telemetry-internal", 2)])
+
+    def test_non_telemetry_file_not_checked(self):
+        # _check_call only consults the rule for telemetry sources.
+        call = self.sched_call("scheduleAfter", self.base_args()[:2])
+        call.location = FakeLocation(
+            os.path.join(self.tmp.name, "obs", "span_log.cc"), 1)
+        ctx = {"in_sched": False}
+        self.analyzer._check_call(call, ctx, telemetry_file=False)
+        self.assertEqual(self.fired(), [])
+
+
 class AllowFiltering(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()

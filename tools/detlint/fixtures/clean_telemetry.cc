@@ -1,0 +1,18 @@
+// Fixture: the sanctioned telemetry sampling idiom — an internal
+// event posted to shard 0 in the top ordering band — lints clean.
+// Mirrors the real scheduling site in src/obs/telemetry.cc.
+
+#include "sim/simulator.hh"
+
+namespace afa::fixture {
+
+inline constexpr std::uint32_t kSampleOrderBand = 0xffffffffu;
+
+void
+scheduleSample(afa::sim::Simulator &sim, afa::sim::Tick when)
+{
+    sim.scheduleOnShard(0, when, [] {}, /*internal=*/true,
+                        kSampleOrderBand);
+}
+
+} // namespace afa::fixture
