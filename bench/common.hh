@@ -57,6 +57,22 @@
  *                     (implies --telemetry 100 when absent)
  *   --telemetry-csv F write the timeline as tidy CSV to file F
  *                     (implies --telemetry 100 when absent)
+ *
+ * Open-loop traffic flags (DESIGN.md §15). A non-zero --rate switches
+ * the run from closed-loop FIO threads to the arrival-driven
+ * OpenLoopEngine:
+ *   --rate R          aggregate offered load in ops/sec (0 = closed
+ *                     loop, the default)
+ *   --duration-ms M   open-loop measurement duration (alias of
+ *                     --runtime-ms; the latter wins when both given)
+ *   --mix P           read percentage of the mixed workload
+ *                     (default 100 = pure reads)
+ *   --zipf T          zipfian theta in [0, 1) for hot-spot device
+ *                     addressing (default 0 = uniform)
+ *   --burst B         burst factor: arrivals come from an on/off
+ *                     process firing at B x the mean rate with duty
+ *                     cycle 1/B (default 1 = plain Poisson)
+ *   --streams N       independent submitter streams (default 4)
  */
 
 #ifndef AFA_BENCH_COMMON_HH
@@ -106,6 +122,25 @@ parseOptions(int argc, char **argv)
         static_cast<double>(cfg.getUint("irqbalance_ms", 1000)));
     p.job = afa::workload::FioJob::parse(
         cfg.getString("job", "rw=randread bs=4k iodepth=1"));
+    // --duration-ms is the open-loop spelling of the measurement
+    // length; an explicit --runtime-ms still wins.
+    const std::uint64_t duration_ms = cfg.getUint("duration_ms", 0);
+    if (duration_ms > 0 && cfg.getUint("runtime_ms", 0) == 0)
+        p.runtime = afa::sim::msec(static_cast<double>(duration_ms));
+    const double rate = cfg.getDouble("rate", 0.0);
+    if (rate > 0.0) {
+        afa::workload::OpenLoopParams ol;
+        ol.arrival.ratePerSec = rate;
+        const double burst = cfg.getDouble("burst", 1.0);
+        if (burst > 1.0) {
+            ol.arrival.kind = afa::workload::ArrivalKind::Bursty;
+            ol.arrival.burstFactor = burst;
+        }
+        ol.readFraction = cfg.getDouble("mix", 100.0) / 100.0;
+        ol.zipfTheta = cfg.getDouble("zipf", 0.0);
+        ol.streams = static_cast<unsigned>(cfg.getUint("streams", 4));
+        p.openLoop = ol;
+    }
     opts.csv = cfg.getBool("csv", false);
     opts.perDevice = cfg.getBool("per_device", false);
     p.captureSystemReport = cfg.getBool("report", false);

@@ -1,22 +1,27 @@
-# Re-runs the pinned fig_fault_tail telemetry configuration and fails
-# when the windowed timeline JSONL drifts from the committed golden.
-# The artifact is fully deterministic (DESIGN.md §14): a serial run at
-# a fixed seed emits no wall-clock fields, so any diff is a real model
-# or format change. To regenerate after an intentional change:
+# Re-runs a pinned bench telemetry configuration and fails when the
+# windowed timeline JSONL drifts from the committed golden. The
+# artifacts are fully deterministic (DESIGN.md §14): a serial run at a
+# fixed seed emits no wall-clock fields, so any diff is a real model
+# or format change. To regenerate after an intentional change, run the
+# bench with the ARGS below plus --telemetry-out <golden path>:
 #
 #   build/bench/fig_fault_tail --width 8 --runtime-ms 300 --seed 7 \
 #       --telemetry 25 \
 #       --telemetry-out bench/golden/fig_fault_tail_telemetry.jsonl
 #
-# Invoked by ctest with -DBIN=, -DGOLDEN=, -DOUT= (see
+#   build/bench/fig_frontier --rates 80000,240000 --runtime-ms 200 \
+#       --seed 7 --streams 2 --telemetry 25 \
+#       --telemetry-out bench/golden/fig_frontier_telemetry.jsonl
+#
+# Invoked by ctest with -DBIN=, -DARGS=, -DGOLDEN=, -DOUT= (see
 # bench/CMakeLists.txt).
+separate_arguments(bench_args UNIX_COMMAND "${ARGS}")
 execute_process(
-    COMMAND ${BIN} --width 8 --runtime-ms 300 --seed 7
-            --telemetry 25 --telemetry-out ${OUT}
+    COMMAND ${BIN} ${bench_args} --telemetry-out ${OUT}
     RESULT_VARIABLE run_rc
     OUTPUT_QUIET)
 if(NOT run_rc EQUAL 0)
-    message(FATAL_ERROR "fig_fault_tail exited with ${run_rc}")
+    message(FATAL_ERROR "${BIN} exited with ${run_rc}")
 endif()
 execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}

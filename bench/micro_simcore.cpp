@@ -21,6 +21,7 @@
 #include "sim/simulator.hh"
 #include "stats/histogram.hh"
 #include "stats/scatter_log.hh"
+#include "workload/arrival.hh"
 
 namespace {
 
@@ -511,6 +512,33 @@ BM_ScatterLogRecord(benchmark::State &state)
     benchmark::DoNotOptimize(log.size());
 }
 BENCHMARK(BM_ScatterLogRecord);
+
+void
+BM_OpenLoopArrival(benchmark::State &state)
+{
+    // The per-arrival draw sequence of the open-loop engine: one
+    // inter-arrival gap (Arg 0 = Poisson, Arg 1 = bursty MMPP), one
+    // zipfian device pick and one LBA/op-mix draw. Bounds the
+    // generation overhead fig_frontier adds on top of the I/O path.
+    afa::workload::ArrivalParams ap;
+    ap.kind = state.range(0) ? afa::workload::ArrivalKind::Bursty
+                             : afa::workload::ArrivalKind::Poisson;
+    ap.ratePerSec = 400000.0;
+    afa::workload::ArrivalProcess arrivals(ap);
+    afa::workload::ZipfGenerator zipf(64, 0.9);
+    afa::sim::Rng rng(42);
+    afa::sim::Tick when = 0;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        when += arrivals.nextGap(rng);
+        acc ^= zipf.next(rng);
+        acc ^= rng.uniformInt(0, 262143);
+        acc ^= rng.chance(0.7);
+    }
+    benchmark::DoNotOptimize(when);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_OpenLoopArrival)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -28,6 +28,7 @@
 #include "obs/span_log.hh"
 #include "raid/volume.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "workload/fio_thread.hh"
 
 using namespace afa::core;
@@ -42,7 +43,14 @@ runClient(const afa::bench::BenchOptions &opts, TuningProfile profile,
           unsigned width,
           afa::obs::TelemetryTimeline *timeline_out = nullptr)
 {
-    Simulator sim(opts.params.seed + width);
+    // Per-width simulator seed via a named fork of the experiment
+    // seed: additive seed+width arithmetic would make width W at
+    // --seed S replay as width W-1 at --seed S+1; the fork keys each
+    // width into its own independent stream.
+    Simulator sim(afa::sim::Rng(opts.params.seed)
+                      .fork(afa::sim::strfmt("tail_at_scale.width%u",
+                                             width))
+                      .seed());
     AfaSystemParams sys_params;
     sys_params.ssds = width;
     Geometry geometry(afa::host::CpuTopology{}, width);

@@ -12,10 +12,178 @@ namespace afa::core {
 
 using afa::sim::Simulator;
 using afa::workload::FioThread;
+using afa::workload::OpenLoopEngine;
+
+namespace {
+
+/**
+ * The open-loop variant: one arrival-driven engine over every SSD
+ * instead of closed-loop FIO threads. Single run — Table II geometry
+ * variants are a closed-loop concept — but the trace/telemetry
+ * plumbing is byte-for-byte the closed-loop pattern, so canonical
+ * reports stay identical with telemetry on or off. The end protocol
+ * drains in-flight IOs with a bounded grace, never the backlog: at
+ * saturation the backlog cannot drain by design, and its depth is
+ * part of the measurement (openLoop.totals.finalBacklog).
+ */
+ExperimentResult
+runOpenLoop(const ExperimentParams &params)
+{
+    afa::host::CpuTopology topo(params.topology);
+    Geometry geometry(topo, params.ssds);
+    TuningConfig tuning = params.tuningOverride
+        ? *params.tuningOverride
+        : TuningConfig::forProfile(params.profile, geometry);
+
+    ExperimentResult result;
+    result.params = params;
+    result.tuning = tuning;
+    result.bootCmdline = tuning.kernel.bootCommandLine();
+    result.perDevice.resize(params.ssds);
+    result.runs = 1;
+
+    Simulator sim(params.seed, std::max(1u, params.shards));
+
+    AfaSystemParams sys_params;
+    sys_params.ssds = params.ssds;
+    sys_params.topology = params.topology;
+    sys_params.kernel = tuning.kernel;
+    sys_params.firmware = tuning.firmware;
+    sys_params.pinIrqAffinity = tuning.pinIrqAffinity;
+    sys_params.ftl = params.ftl;
+    sys_params.faults = params.faults;
+    sys_params.deviceFastPath = params.deviceFastPath;
+    if (!params.backgroundLoad)
+        sys_params.background = afa::host::BackgroundParams::none();
+    if (params.smartPeriod > 0)
+        sys_params.firmware.smart.period = params.smartPeriod;
+    if (params.irqBalanceInterval > 0)
+        sys_params.kernel.irq.irqBalanceInterval =
+            params.irqBalanceInterval;
+
+    AfaSystem system(sim, sys_params);
+    std::unique_ptr<afa::obs::SpanLog> spanLog;
+    bool internalTrace = false;
+    if (params.traceMask != 0) {
+        afa::obs::TraceParams trace;
+        trace.mask = params.traceMask;
+        trace.capacity = params.traceCapacity;
+        trace.shards = std::max(1u, params.shards);
+        spanLog = std::make_unique<afa::obs::SpanLog>(trace);
+        system.setSpanLog(spanLog.get());
+    }
+    std::unique_ptr<afa::obs::Telemetry> telemetry;
+    if (params.telemetryWindow > 0) {
+        afa::obs::TelemetryParams tp;
+        tp.window = params.telemetryWindow;
+        tp.shards = std::max(1u, params.shards);
+        telemetry = std::make_unique<afa::obs::Telemetry>(tp);
+        if (!spanLog) {
+            afa::obs::TraceParams trace;
+            trace.mask = afa::obs::kAllCategories;
+            trace.capacity = params.traceCapacity;
+            trace.shards = std::max(1u, params.shards);
+            spanLog = std::make_unique<afa::obs::SpanLog>(trace);
+            system.setSpanLog(spanLog.get());
+            internalTrace = true;
+        }
+        spanLog->setTelemetry(telemetry.get());
+        system.attachTelemetry(*telemetry);
+    }
+    if (params.preconditionFraction > 0.0)
+        for (unsigned d = 0; d < params.ssds; ++d)
+            system.ssd(d).ftl().precondition(
+                params.preconditionFraction);
+    if (params.polledCompletions)
+        afa::sim::warn("experiment: open-loop mode ignores polled "
+                       "completions");
+
+    afa::workload::OpenLoopParams ol = *params.openLoop;
+    ol.duration = params.runtime;
+    ol.rtPriority = tuning.fioRtPriority;
+    if (ol.cpus.empty())
+        ol.cpus = geometry.fioCpus();
+    auto engine = std::make_unique<OpenLoopEngine>(
+        sim, "openloop", system.scheduler(), system.ioEngine(),
+        params.ssds, ol);
+    if (spanLog)
+        engine->attachSpanLog(spanLog.get());
+    if (telemetry)
+        engine->registerTelemetry(*telemetry);
+
+    system.start();
+    engine->start(0);
+    if (telemetry)
+        telemetry->start(sim);
+
+    // Run the measurement, then drain in-flight IOs (only): the
+    // grace is bounded so a saturated backlog ends the run with
+    // exact finalBacklog/inflightAtEnd accounting instead of
+    // stalling forever.
+    sim.run(params.runtime + afa::sim::msec(100));
+    bool drained = false;
+    for (int rounds = 0; rounds < 100 && !drained; ++rounds) {
+        drained = engine->finished();
+        if (!drained)
+            sim.run(sim.now() + afa::sim::msec(10));
+    }
+    if (!drained)
+        afa::sim::warn("experiment: open-loop run did not drain "
+                       "in-flight IOs within grace");
+    if (telemetry) {
+        telemetry->finish();
+        result.telemetry.merge(telemetry->timeline());
+    }
+
+    for (unsigned d = 0; d < params.ssds; ++d)
+        result.perDevice[d] =
+            afa::stats::LatencySummary::fromHistogram(
+                afa::sim::strfmt("nvme%u", d),
+                engine->deviceHistogram(d));
+    result.openLoop = engine->result();
+    result.totalIos = result.openLoop.totals.completed;
+    const double total_bytes =
+        static_cast<double>(result.openLoop.totals.readBytes) +
+        static_cast<double>(result.openLoop.totals.writeBytes);
+    const double measured_seconds = afa::sim::toSec(params.runtime);
+    if (measured_seconds > 0.0)
+        result.aggregateGBps = total_bytes / measured_seconds / 1e9;
+    result.simulatedEvents = sim.executedEvents();
+    if (params.captureSystemReport)
+        result.systemReportText = systemReport(system);
+    const bool artifactTrace = spanLog && !internalTrace;
+    if (artifactTrace) {
+        result.attribution.merge(spanLog->attribution());
+        result.spanDrops += spanLog->dropped();
+        if (params.keepSpans)
+            result.spans = spanLog->snapshot();
+    }
+    if (artifactTrace || params.faults) {
+        afa::obs::MetricsRegistry registry;
+        system.publishMetrics(registry);
+        engine->publishMetrics(registry);
+        if (artifactTrace) {
+            registry.addCounter("obs.spans_recorded",
+                                spanLog->recorded());
+            registry.addCounter("obs.span_drops",
+                                spanLog->dropped());
+        }
+        result.systemMetrics.merge(registry.snapshot());
+    }
+
+    result.aggregate =
+        afa::stats::LadderAggregate::across(result.perDevice);
+    return result;
+}
+
+} // namespace
 
 ExperimentResult
 ExperimentRunner::run(const ExperimentParams &params)
 {
+    if (params.openLoop)
+        return runOpenLoop(params);
+
     afa::host::CpuTopology topo(params.topology);
     Geometry geometry(topo, params.ssds);
     TuningConfig tuning = params.tuningOverride

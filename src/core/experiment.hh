@@ -24,6 +24,7 @@
 #include "stats/scatter_log.hh"
 #include "stats/summary.hh"
 #include "workload/fio_job.hh"
+#include "workload/openloop.hh"
 
 namespace afa::core {
 
@@ -135,6 +136,17 @@ struct ExperimentParams
     std::shared_ptr<const afa::fault::FaultPlan> faults;
 
     /**
+     * Open-loop arrival-driven traffic (DESIGN.md §15) instead of
+     * the closed-loop FIO threads when set. One run over all SSDs:
+     * geometry variants and placement overrides do not apply; the
+     * engine duration is `runtime`, and empty `cpus` expands to the
+     * geometry's FIO CPU list. The result's openLoop slice carries
+     * the offered/completed rates, backlog accounting and the
+     * whole-run response histogram.
+     */
+    std::optional<afa::workload::OpenLoopParams> openLoop;
+
+    /**
      * Telemetry sampling window in ticks (0 = off). Non-zero slices
      * the run into simulated-time windows of per-stage latency
      * histograms, sampled counter/gauge series, and the simulator's
@@ -186,6 +198,10 @@ struct ExperimentResult
     /** Windowed telemetry timeline (telemetryWindow != 0), merged
      *  across geometry runs and seed replicas. */
     afa::obs::TelemetryTimeline telemetry;
+
+    /** Open-loop counters/histogram (params.openLoop set), merged
+     *  across seed replicas. */
+    afa::workload::OpenLoopResult openLoop;
 };
 
 /** Runs experiments. */

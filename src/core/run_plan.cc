@@ -212,6 +212,7 @@ ParallelExperimentRunner::mergeReplicas(
         merged.spanDrops += r.spanDrops;
         merged.systemMetrics.merge(r.systemMetrics);
         merged.telemetry.merge(r.telemetry);
+        merged.openLoop.merge(r.openLoop);
         // Raw spans stay those of the first replica: one run's
         // timeline is what Perfetto export wants.
     }

@@ -75,6 +75,53 @@ class ShardDeterminismTest : public ::testing::Test
         p.shards = shards;
         return canonical(ExperimentRunner::run(p));
     }
+
+    /** The frontier bench's base config at test scale: open-loop
+     *  mixed bursty traffic with a zipfian hot spot, exercising every
+     *  Rng fork the engine owns. */
+    static ExperimentParams
+    openLoopParams()
+    {
+        auto p = baseParams(TuningProfile::Default);
+        afa::workload::OpenLoopParams ol;
+        ol.arrival.kind = afa::workload::ArrivalKind::Bursty;
+        ol.arrival.ratePerSec = 100000.0;
+        ol.streams = 2;
+        ol.readFraction = 0.7;
+        ol.zipfTheta = 0.9;
+        p.openLoop = ol;
+        return p;
+    }
+
+    /** Everything the frontier figure prints from the open-loop
+     *  slice, plus the event count: counters, per-stream accounting
+     *  and the response-histogram shape. */
+    static std::string
+    openLoopCanonical(const ExperimentResult &r)
+    {
+        std::ostringstream os;
+        const auto stream = [&os](const char *tag,
+                                  const afa::workload::
+                                      OpenLoopStreamStats &s) {
+            os << tag << " arrivals=" << s.arrivals << " submitted="
+               << s.submitted << " completed=" << s.completed
+               << " dropped=" << s.dropped << " errors=" << s.errors
+               << " rd=" << s.readBytes << " wr=" << s.writeBytes
+               << " peak=" << s.backlogPeak << " backlog="
+               << s.finalBacklog << " inflight=" << s.inflightAtEnd
+               << " gt1ms=" << s.exceed[0] << '\n';
+        };
+        stream("totals", r.openLoop.totals);
+        for (std::size_t i = 0; i < r.openLoop.perStream.size(); ++i)
+            stream(afa::sim::strfmt("s%zu", i).c_str(),
+                   r.openLoop.perStream[i]);
+        const auto &h = r.openLoop.responseHist;
+        os << "hist n=" << h.count() << " min=" << h.min() << " max="
+           << h.max() << " p50=" << h.quantile(0.50) << " p99="
+           << h.quantile(0.99) << '\n'
+           << "events=" << r.simulatedEvents << '\n';
+        return os.str();
+    }
 };
 
 TEST_F(ShardDeterminismTest, Fig06DefaultProfileBitIdentical)
@@ -204,6 +251,63 @@ TEST_F(ShardDeterminismTest, TelemetryOnOffBitIdenticalAcrossJobs)
         std::string out;
         for (const auto &r : runner.run(plan.expand()))
             out += canonical(r);
+        return out;
+    };
+    const std::string serial_off = render(0, 1);
+    EXPECT_EQ(render(0, 4), serial_off);
+    EXPECT_EQ(render(msec(10), 1), serial_off);
+    EXPECT_EQ(render(msec(10), 4), serial_off);
+}
+
+TEST_F(ShardDeterminismTest, OpenLoopBitIdenticalAcrossShards)
+{
+    // The open-loop contract (DESIGN.md §15): the engine lives on
+    // shard 0 and every draw comes from named per-stream forks, so
+    // the frontier-style canonical output is shard-count-invariant
+    // and unmoved by telemetry sampling.
+    const auto params = openLoopParams();
+    auto p1 = params;
+    p1.shards = 1;
+    const auto serial = ExperimentRunner::run(p1);
+    const std::string base = openLoopCanonical(serial);
+    // The run did real open-loop work with exact accounting.
+    EXPECT_FALSE(serial.openLoop.empty());
+    const auto &t = serial.openLoop.totals;
+    EXPECT_GT(t.completed, 1000u);
+    EXPECT_EQ(t.arrivals, t.submitted + t.dropped + t.finalBacklog);
+    EXPECT_EQ(t.submitted, t.completed + t.inflightAtEnd);
+
+    for (unsigned shards : {2u, 4u}) {
+        auto p = params;
+        p.shards = shards;
+        EXPECT_EQ(openLoopCanonical(ExperimentRunner::run(p)), base)
+            << "shards=" << shards;
+    }
+    auto telem = params;
+    telem.shards = 4;
+    telem.telemetryWindow = msec(10);
+    const auto result = ExperimentRunner::run(telem);
+    EXPECT_EQ(openLoopCanonical(result), base);
+    EXPECT_FALSE(result.telemetry.empty());
+}
+
+TEST_F(ShardDeterminismTest, OpenLoopBitIdenticalAcrossJobs)
+{
+    // Seed replicas of the open-loop run through the parallel sweep
+    // runner: worker count and telemetry must not move a byte of the
+    // merged open-loop slice.
+    auto params = openLoopParams();
+    params.shards = 2;
+    const auto render = [&params](afa::sim::Tick window,
+                                  unsigned jobs) {
+        auto base = params;
+        base.telemetryWindow = window;
+        RunPlan plan(base);
+        plan.seeds(2);
+        ParallelExperimentRunner runner(jobs);
+        std::string out;
+        for (const auto &r : runner.run(plan.expand()))
+            out += openLoopCanonical(r);
         return out;
     };
     const std::string serial_off = render(0, 1);

@@ -32,6 +32,13 @@ contract:
                        randomness must flow from the FaultEngine's
                        per-object stream ("afa.faults") or faulted
                        replays stop being replayable.
+  arrival-rng          (arrival/open-loop workload sources only)
+                       constructing a fresh afa::sim::Rng in the
+                       open-loop traffic engine: every arrival-clock,
+                       device, LBA and mix draw must flow from the
+                       engine's named per-stream forks or the offered
+                       load stops being byte-identical across
+                       --shards/--jobs.
   shard-state          calling a controller's cross-shard mutators
                        (setLimpFactor/setOffline/stallUntil) outside a
                        scheduleOnShard() post: in a sharded run the
@@ -114,6 +121,9 @@ RULES = {
     "fault-rng": "fault code must draw randomness from the "
                  "FaultEngine's seeded per-object stream, not a "
                  "freshly constructed Rng",
+    "arrival-rng": "open-loop arrival code must draw randomness from "
+                   "the engine's named per-stream Rng forks, not a "
+                   "freshly constructed Rng",
     "shard-state": "cross-shard SimObject state must be mutated via a "
                    "scheduleOnShard() post to the owning shard, not "
                    "touched directly; annotate shard-affine call "
@@ -143,11 +153,22 @@ SIMPLE_PATTERNS = [
         r"\s+\w+\s*(?:;|\{\s*\}|\(\s*\))")),
 ]
 
-# Scoped to paths containing "fault": a fresh Rng there would be a
-# second fault randomness stream outside the engine's seeded fork.
-FAULT_RNG_RE = re.compile(
+# Fresh-Rng construction, reported as fault-rng in paths containing
+# "fault" and as arrival-rng in the open-loop workload sources
+# ("arrival"/"openloop" paths): either way it is a second randomness
+# stream outside the object's seeded fork.
+FRESH_RNG_RE = re.compile(
     r"\bRng\s+\w+\s*[({=;]"
     r"|\bnew\s+(?:afa\s*::\s*sim\s*::\s*)?Rng\b")
+
+
+def fresh_rng_rule_for(display_path):
+    """The fresh-Rng rule a path is scoped under, or None."""
+    if "fault" in display_path:
+        return "fault-rng"
+    if "arrival" in display_path or "openloop" in display_path:
+        return "arrival-rng"
+    return None
 
 # Cross-shard controller mutators: legal only inside a
 # scheduleOnShard() post (the mailbox routes it to the owning shard)
@@ -541,11 +562,12 @@ def check_file(path, display_path):
         for m in regex.finditer(text):
             diags.append(Diagnostic(display_path,
                                     line_of(text, m.start()), rule))
-    if "fault" in display_path:
-        for m in FAULT_RNG_RE.finditer(text):
+    fresh_rng_rule = fresh_rng_rule_for(display_path)
+    if fresh_rng_rule:
+        for m in FRESH_RNG_RE.finditer(text):
             diags.append(Diagnostic(display_path,
                                     line_of(text, m.start()),
-                                    "fault-rng"))
+                                    fresh_rng_rule))
     if "telemetry" in display_path:
         check_telemetry_internal(display_path, text, diags)
     check_shard_state(display_path, text, diags)

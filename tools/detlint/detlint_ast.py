@@ -11,7 +11,8 @@ and admits rules that tokens cannot express at all.
 
 Ported rules (same names, same rationale as detlint.py):
   rand, wall-clock, random-device, unseeded-rng, unordered-iteration,
-  mutable-static, fault-rng, shard-state, telemetry-internal
+  mutable-static, fault-rng, arrival-rng, shard-state,
+  telemetry-internal
 
 AST-only rules:
   shard-capture        a lambda passed to scheduleOnShard() capturing
@@ -548,7 +549,11 @@ class Analyzer:
     def _visit(self, cursor, ctx):
         k = kname(cursor)
         path, _ = location_of(cursor)
-        fault_file = bool(path) and "fault" in self._display_path(path)
+        # fault-rng in fault sources, arrival-rng in the open-loop
+        # workload sources, None elsewhere (shared scoping with the
+        # regex tier).
+        fresh_rng_rule = rxlint.fresh_rng_rule_for(
+            self._display_path(path)) if path else None
         telemetry_file = bool(path) and \
             "telemetry" in self._display_path(path)
 
@@ -560,7 +565,7 @@ class Analyzer:
                 self._walk(cursor, sub)
                 return
         elif k == "VAR_DECL":
-            self._check_var_decl(cursor, ctx, fault_file)
+            self._check_var_decl(cursor, ctx, fresh_rng_rule)
         elif k == "LAMBDA_EXPR":
             if ctx["in_sched"] and not ctx["in_sched_lambda"]:
                 self._check_shard_capture(cursor)
@@ -568,7 +573,7 @@ class Analyzer:
                 self._walk(cursor, sub)
                 return
         elif k == "CXX_NEW_EXPR":
-            self._check_new_expr(cursor, fault_file)
+            self._check_new_expr(cursor, fresh_rng_rule)
         elif k == "CXX_FOR_RANGE_STMT":
             if self._check_range_for(cursor, ctx):
                 sub = dict(ctx, unordered_loop_depth=(
@@ -634,7 +639,7 @@ class Analyzer:
             return False
         return tokens[:1] == ["true"]
 
-    def _check_var_decl(self, cursor, ctx, fault_file):
+    def _check_var_decl(self, cursor, ctx, fresh_rng_rule):
         try:
             canonical = cursor.type.get_canonical()
         except (AttributeError, ValueError):
@@ -649,10 +654,10 @@ class Analyzer:
         if base in ENGINE_QNAMES and canonical.kind.name == "RECORD":
             if self._ctor_args(cursor) == 0:
                 self.report(cursor, "unseeded-rng")
-        if fault_file and qn == "afa::sim::Rng" and \
+        if fresh_rng_rule and qn == "afa::sim::Rng" and \
                 canonical.kind.name == "RECORD":
             if self._is_fresh_rng_init(cursor):
-                self.report(cursor, "fault-rng")
+                self.report(cursor, fresh_rng_rule)
         self._check_mutable_static(cursor)
         self._check_tick_var_init(cursor, ctx)
 
@@ -727,12 +732,12 @@ class Analyzer:
             return
         self.report(cursor, "mutable-static")
 
-    def _check_new_expr(self, cursor, fault_file):
-        if not fault_file:
+    def _check_new_expr(self, cursor, fresh_rng_rule):
+        if not fresh_rng_rule:
             return
         qn = canonical_record_qname(cursor.type)
         if qn == "afa::sim::Rng":
-            self.report(cursor, "fault-rng")
+            self.report(cursor, fresh_rng_rule)
 
     def _check_range_for(self, cursor, ctx):
         """Report unordered-iteration; returns True when the loop

@@ -509,6 +509,105 @@ class SpanPaths(unittest.TestCase):
         self.assertEqual(self.run_checker(body, begin), [])
 
 
+class FreshRngRule(unittest.TestCase):
+    """Path scoping and init classification of the fault-rng /
+    arrival-rng fresh-Rng rules on fake cursors."""
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.an = da.Analyzer(self.tmp.name)
+        self.ctx = {"in_sched": False, "in_sched_lambda": False,
+                    "unordered_loop_depth": 0}
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def test_path_scoping(self):
+        rule = da.rxlint.fresh_rng_rule_for
+        self.assertEqual(rule("src/fault/fault_engine.cc"),
+                         "fault-rng")
+        self.assertEqual(rule("src/workload/arrival.cc"),
+                         "arrival-rng")
+        self.assertEqual(rule("src/workload/openloop.hh"),
+                         "arrival-rng")
+        self.assertIsNone(rule("src/workload/fio_thread.cc"))
+        self.assertIsNone(rule("src/sim/random.cc"))
+
+    def rng_type(self):
+        tu = FakeCursor("TRANSLATION_UNIT")
+        afa = FakeCursor("NAMESPACE", spelling="afa",
+                         semantic_parent=tu)
+        sim = FakeCursor("NAMESPACE", spelling="sim",
+                         semantic_parent=afa)
+        decl = FakeCursor("CLASS_DECL", spelling="Rng",
+                          semantic_parent=sim)
+        return FakeType(spelling="afa::sim::Rng", kind_name="RECORD",
+                        decl=decl)
+
+    def rng_var(self, path, init=None, line=3):
+        children = [init] if init is not None else []
+        return FakeCursor("VAR_DECL", spelling="r",
+                          children=children, type=self.rng_type(),
+                          path=path, line=line)
+
+    def ctor_init(self):
+        ctor = FakeCursor("CONSTRUCTOR", spelling="Rng")
+        seed = FakeCursor("INTEGER_LITERAL", is_expr=True)
+        return FakeCursor("CALL_EXPR", children=[seed],
+                          referenced=ctor, is_expr=True)
+
+    def fork_init(self):
+        fork = FakeCursor("CXX_METHOD", spelling="fork")
+        return FakeCursor("CALL_EXPR", referenced=fork, is_expr=True)
+
+    def fired(self):
+        return [(d.rule, d.line) for d in self.an.results()]
+
+    def test_fresh_ctor_fires_scoped_rule(self):
+        path = os.path.join(self.tmp.name, "workload", "arrival.cc")
+        var = self.rng_var(path, self.ctor_init(), line=11)
+        self.an._check_var_decl(var, self.ctx, "arrival-rng")
+        self.assertEqual(self.fired(), [("arrival-rng", 11)])
+
+    def test_default_ctor_fires(self):
+        path = os.path.join(self.tmp.name, "workload", "openloop.cc")
+        var = self.rng_var(path, None, line=4)
+        self.an._check_var_decl(var, self.ctx, "arrival-rng")
+        self.assertEqual(self.fired(), [("arrival-rng", 4)])
+
+    def test_fault_path_reports_fault_rng(self):
+        path = os.path.join(self.tmp.name, "fault", "engine.cc")
+        var = self.rng_var(path, self.ctor_init(), line=8)
+        self.an._check_var_decl(var, self.ctx, "fault-rng")
+        self.assertEqual(self.fired(), [("fault-rng", 8)])
+
+    def test_fork_derived_is_clean(self):
+        path = os.path.join(self.tmp.name, "workload", "arrival.cc")
+        var = self.rng_var(path, self.fork_init())
+        self.an._check_var_decl(var, self.ctx, "arrival-rng")
+        self.assertEqual(self.fired(), [])
+
+    def test_unscoped_path_is_clean(self):
+        path = os.path.join(self.tmp.name, "workload", "fio.cc")
+        var = self.rng_var(path, self.ctor_init())
+        self.an._check_var_decl(var, self.ctx, None)
+        self.assertEqual(self.fired(), [])
+
+    def test_new_expr_fires_passed_rule(self):
+        path = os.path.join(self.tmp.name, "workload", "arrival.cc")
+        new = FakeCursor("CXX_NEW_EXPR", type=self.rng_type(),
+                         path=path, line=6)
+        self.an._check_new_expr(new, "arrival-rng")
+        self.assertEqual(self.fired(), [("arrival-rng", 6)])
+
+    def test_new_expr_without_rule_is_clean(self):
+        path = os.path.join(self.tmp.name, "workload", "fio.cc")
+        new = FakeCursor("CXX_NEW_EXPR", type=self.rng_type(),
+                         path=path, line=6)
+        self.an._check_new_expr(new, None)
+        self.assertEqual(self.fired(), [])
+
+
 class ShardCaptureRule(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()

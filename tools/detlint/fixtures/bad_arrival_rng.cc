@@ -1,0 +1,30 @@
+// Fixture: constructing a fresh Rng in open-loop arrival code (the
+// "arrival" in this filename puts it in scope) must trigger
+// `arrival-rng`.
+namespace afa::sim {
+class Rng
+{
+  public:
+    explicit Rng(unsigned long long seed);
+    double exponential(double mean);
+};
+} // namespace afa::sim
+
+double
+privateArrivalClock()
+{
+    afa::sim::Rng local(42);
+    auto *heap = new afa::sim::Rng(7);
+    double gap = local.exponential(100.0) + heap->exponential(100.0);
+    delete heap;
+    return gap;
+}
+
+// Drawing from a borrowed engine stream is the sanctioned pattern:
+// this must NOT fire.
+double
+borrowedStream(afa::sim::Rng &rng)
+{
+    afa::sim::Rng *alias = &rng;
+    return alias->exponential(250.0);
+}

@@ -1,0 +1,50 @@
+// Fixture: the sanctioned open-loop randomness idioms ("arrival" in
+// the filename scopes the arrival-rng rule here) must lint clean in
+// both tiers: every draw flows through a borrowed Rng reference or a
+// stream forked off the engine's seeded tree, never a fresh
+// construction.
+namespace afa::sim {
+class Rng
+{
+  public:
+    explicit Rng(unsigned long long seed);
+    // Trailing return type on purpose: a leading-return `Rng fork(...)`
+    // declaration would token-match the fresh-construction pattern in
+    // the regex tier.
+    auto fork(unsigned long long salt) const -> Rng;
+    double exponential(double mean);
+};
+} // namespace afa::sim
+
+namespace {
+
+// An arrival clock borrows its stream per call: no owned Rng member,
+// so the process itself carries no randomness state.
+class ArrivalClock
+{
+  public:
+    double nextGap(afa::sim::Rng &rng)
+    {
+        return rng.exponential(gapMean);
+    }
+
+  private:
+    double gapMean = 1000.0;
+};
+
+} // namespace
+
+double
+forkedStreams(afa::sim::Rng &engineRng)
+{
+    // Per-stream state assigned from named forks of the engine's
+    // seeded tree: the storage idiom OpenLoopEngine uses.
+    ArrivalClock arrivals;
+    double total = 0.0;
+    for (int s = 0; s < 4; ++s) {
+        auto stream =
+            engineRng.fork(static_cast<unsigned long long>(s));
+        total += arrivals.nextGap(stream);
+    }
+    return total;
+}
